@@ -1,0 +1,19 @@
+"""Shared reporting for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+rows are printed (visible with ``pytest -s``) and saved under
+``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

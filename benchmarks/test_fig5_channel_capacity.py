@@ -1,0 +1,37 @@
+"""Figure 5: normalized storage-channel capacity vs window size.
+
+Closed-form evaluation of Equations (7)-(8) for security-critical
+regions of M = 8, 16, 64, 128 lines, window sizes normalized to M.
+The paper's observations: capacity drops by more than an order of
+magnitude at twice the region size, and the boundary effect is smaller
+for larger regions.
+"""
+
+from _reporting import save_report
+
+from repro.analysis.channel_capacity import figure5_series
+from repro.util.tables import format_table
+
+
+def test_fig5_channel_capacity(benchmark):
+    series = benchmark.pedantic(figure5_series, rounds=1, iterations=1)
+
+    for m, points in series.items():
+        values = [c for _, c in points]
+        # Monotone non-increasing in window size.
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+        # Boundary effect: never exactly closed.
+        assert values[-1] > 0
+        # Order-of-magnitude drop by twice the region size.
+        at_2m = dict(points)[2.0]
+        assert at_2m < 0.15
+    # Larger regions leak less (relative) at the same normalized window.
+    assert dict(series[128])[2.0] < dict(series[8])[2.0]
+
+    sizes = [x for x, _ in series[8]]
+    rows = [[f"{x:.2f}"] + [f"{dict(series[m])[x]:.4f}"
+                            for m in (8, 16, 64, 128)]
+            for x in sizes]
+    save_report("fig5_channel_capacity", format_table(
+        ["window/M", "M=8", "M=16", "M=64", "M=128"], rows,
+        title="Figure 5: normalized channel capacity (Eq. 7-8)"))

@@ -1,0 +1,59 @@
+"""Table III: P1 - P2 and attack measurement counts vs window size.
+
+Monte Carlo P1 - P2 for the random fill strategy on the 4-way SA cache
+and on Newcache, window sizes 1..32 (size 1 = demand fetch), plus a
+live capped collision attack on one representative pair and the
+Equation (5) extrapolation of the required measurements.
+
+Paper values (SA): 0.652 / 0.332 / 0.127 / 0.044 / 0.012 / 0.006, with
+attack cost 65k -> 1.9M -> 16.7M -> no success after 2^24.
+"""
+
+import math
+
+from _reporting import save_report
+
+from repro.experiments.config import scaled
+from repro.experiments.security import table3
+from repro.util.tables import format_table
+
+
+def run():
+    caps_scale = scaled(1, minimum=1)
+    attack_caps = {1: scaled(25_000, 1_000), 2: scaled(8_000, 500),
+                   4: scaled(4_000, 500), 8: 0, 16: 0, 32: 0}
+    return table3(substrates=("sa", "newcache"),
+                  mc_trials=scaled(4_000, minimum=300),
+                  attack_caps=attack_caps, seed=11)
+
+
+def test_table3_p1_minus_p2(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    by_key = {(r.substrate, r.window_size): r for r in rows}
+    for substrate in ("sa", "newcache"):
+        values = [by_key[(substrate, w)].p1_minus_p2
+                  for w in (1, 2, 4, 8, 16, 32)]
+        # Demand fetch leaks strongly; the signal decays with window size
+        # and vanishes when the window covers the table (paper's shape).
+        assert values[0] > 0.4
+        assert values[0] > values[1] > values[2] > values[3]
+        assert abs(values[5]) < 0.03
+        # Equation (5): required measurements diverge as the signal dies.
+        assert by_key[(substrate, 1)].extrapolated_n < \
+            by_key[(substrate, 4)].extrapolated_n
+
+    table_rows = []
+    for r in rows:
+        extrapolated = ("inf" if math.isinf(r.extrapolated_n)
+                        else f"{r.extrapolated_n:,.0f}")
+        table_rows.append((r.substrate, r.window_size,
+                           f"{r.p1_minus_p2:.3f}",
+                           r.measurements_text() if r.attack_cap else "-",
+                           extrapolated))
+    save_report("table3_p1p2", format_table(
+        ["substrate", "window", "P1-P2", "attack measurements",
+         "Eq(5) extrapolated N"],
+        table_rows,
+        title=("Table III: P1-P2 and measurements for random fill + "
+               "{4-way SA, Newcache}")))

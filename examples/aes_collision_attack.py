@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Cache collision attack against AES — and the random fill defence.
+
+Mounts the final-round collision attack of Section II-C / Figure 2
+against a simulated AES service:
+
+1. on a conventional demand-fetch cache, the average encryption time
+   dips at c0 ^ c1 == k10_0 ^ k10_1, leaking a key-byte XOR;
+2. on the random fill cache with a window covering the table, the dip
+   disappears (P1 - P2 = 0, Section V-A).
+
+The run uses 15,000 measurements per configuration (~1 minute); the
+paper used 2^17 on gem5 and our Figure 2 benchmark uses 40k+.  At this
+size the demand-fetch dip is visible in the rank statistics even when
+the exact argmin has not settled yet.
+
+Run:  python examples/aes_collision_attack.py [measurements]
+"""
+
+import sys
+
+from repro.attacks import FinalRoundCollisionAttack
+from repro.experiments.security import build_attack_victim
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def attack(window_size, measurements):
+    victim = build_attack_victim(window_size, "sa", key=KEY, seed=7)
+    atk = FinalRoundCollisionAttack(victim, pairs=[(0, 1)], seed=3)
+    atk.collect(measurements)
+    estimate = atk.estimates()[0]
+    curve = dict(atk.timing_characteristic((0, 1)))
+    rank = sorted(curve, key=curve.get).index(estimate.true_value)
+    return estimate, curve, rank
+
+
+def main():
+    measurements = int(sys.argv[1]) if len(sys.argv) > 1 else 15_000
+    print("Final-round cache collision attack (Bonneau-Mironov style)")
+    print("=" * 64)
+    for label, size in (("demand fetch cache", 1),
+                        ("random fill cache, window size 32", 32)):
+        estimate, curve, rank = attack(size, measurements)
+        print(f"\n{label} ({measurements} measurements)")
+        print(f"  true k10_0 ^ k10_1        {estimate.true_value}")
+        print(f"  argmin of timing curve    {estimate.recovered}")
+        print(f"  rank of true value        {rank} / 256 "
+              f"(0 = fully recovered)")
+        print(f"  dip at true value         {curve[estimate.true_value]:+.2f}"
+              " cycles vs bucket mean")
+    print("\nOn demand fetch the true XOR sinks toward rank 0 as")
+    print("measurements accumulate; on the random fill cache its rank")
+    print("stays uniformly random no matter how long the attacker runs")
+    print("(Table III: no success after 2^24 measurements).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build a random fill cache and watch it work.
+
+Builds the paper's Table IV hierarchy with a random fill L1, configures
+a [-16, +15] window through the OS interface (Table II), runs a small
+table-lookup workload, and contrasts the cache statistics with plain
+demand fetch.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import AccessContext, build_random_fill_hierarchy
+from repro.cpu.timing import TimingModel
+
+
+def run(window_exponent):
+    """Run 20k random lookups into a 4 KB table; return the sim result."""
+    system = build_random_fill_hierarchy(seed=42)
+    system.os.create_process(pid=1)
+    system.os.schedule(pid=1)
+    if window_exponent is not None:
+        # set_window(lowerBound, n): window [i - 16, i + 15] for n = 5.
+        system.os.set_window(-(1 << (window_exponent - 1)), window_exponent)
+
+    rng = random.Random(7)
+    table_base = 0x10000
+    trace = [(table_base + rng.randrange(4096), 4, 0) for _ in range(20_000)]
+    result = TimingModel(system.l1).run(trace, AccessContext())
+    return system, result
+
+
+def main():
+    print("Random Fill Cache Architecture - quickstart")
+    print("=" * 60)
+    for label, exponent in (("demand fetch (window [0,0])", None),
+                            ("random fill  (window [-16,+15])", 5)):
+        system, result = run(exponent)
+        stats = system.l1.stats
+        print(f"\n{label}")
+        print(f"  IPC                  {result.ipc:.3f}")
+        print(f"  L1 hit rate          {stats.hit_rate:.3f}")
+        print(f"  L1 demand misses     {stats.demand_misses}")
+        print(f"  random fills issued  {stats.random_fill_issued}")
+        print(f"  random fills dropped {stats.random_fill_dropped}")
+    print("\nWith the window enabled, misses no longer install the demanded"
+          "\nline; uniformly random neighbors are installed instead - the"
+          "\ncache still works (random lookups hit prefetched lines), but"
+          "\nits state no longer remembers which lines were demanded.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Defense matrix: which cache design stops which attack class.
+
+Runs the two attack mechanisms (contention based Prime-Probe, reuse
+based Flush-Reload) against four designs:
+
+* the conventional set-associative cache,
+* Newcache (mapping randomization),
+* the random fill cache on the SA substrate,
+* random fill built on Newcache — the paper's recommended combination
+  ("comprehensive defenses against all known cache side channel
+  attacks").
+
+Run:  python examples/secure_cache_comparison.py
+"""
+
+from repro.attacks import run_flush_reload_trials, run_prime_probe_trials
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.window import RandomFillWindow
+from repro.secure.newcache import Newcache
+from repro.secure.region import ProtectedRegion
+from repro.util.tables import format_table
+
+REGION = ProtectedRegion(0x10000, 1024)  # one 1-KB AES table, 16 lines
+WINDOW = RandomFillWindow(16, 15)
+NO_WINDOW = RandomFillWindow(0, 0)
+
+DESIGNS = (
+    ("SA cache (demand fetch)", lambda: SetAssociativeCache(8 * 1024, 4),
+     NO_WINDOW),
+    ("Newcache (demand fetch)", lambda: Newcache(8 * 1024, seed=11),
+     NO_WINDOW),
+    ("Random fill + SA", lambda: SetAssociativeCache(8 * 1024, 4), WINDOW),
+    ("Random fill + Newcache", lambda: Newcache(8 * 1024, seed=11), WINDOW),
+)
+
+
+def verdict(leaks: bool) -> str:
+    return "LEAKS" if leaks else "defended"
+
+
+def main():
+    rows = []
+    for name, make_store, window in DESIGNS:
+        pp = run_prime_probe_trials(make_store(), 32, 4, REGION,
+                                    window=window, trials=200, seed=1)
+        fr = run_flush_reload_trials(make_store(), REGION, window,
+                                     trials=400, seed=2)
+        rows.append((
+            name,
+            f"{verdict(pp.advantage > 0.1)} (acc {pp.set_accuracy:.2f})",
+            f"{verdict(fr.exact_accuracy > 0.5)} "
+            f"(acc {fr.exact_accuracy:.2f}, "
+            f"MI {fr.mutual_information:.2f}b)",
+        ))
+    print(format_table(
+        ["design", "Prime-Probe (contention)", "Flush-Reload (reuse)"],
+        rows, title="Which design stops which attack class"))
+    print("\nMapping randomization (Newcache) stops contention attacks but")
+    print("not reuse attacks.  Random fill stops reuse attacks; with a")
+    print("window covering the whole table it also blinds Prime-Probe on")
+    print("this single-table victim, but the set of the fill still leaks")
+    print("its neighborhood when the window is smaller than the secret")
+    print("region - which is why the paper recommends building random")
+    print("fill on Newcache for comprehensive protection.")
+
+
+if __name__ == "__main__":
+    main()

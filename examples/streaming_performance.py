@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Random fill as a prefetcher: the Section VII streaming study.
+
+Sweeps random fill windows over the irregular streaming benchmarks
+(libquantum, lbm) and a narrow-locality benchmark (hmmer), reporting L1
+MPKI and IPC, plus the tagged next-line prefetcher for comparison.
+
+The paper's result: design-for-security need not cost performance — on
+irregular streams the random fill window acts as a deep, stride-
+agnostic prefetcher and beats the tagged prefetcher (libquantum: +57%
+vs +26% in the paper).
+
+Run:  python examples/streaming_performance.py
+"""
+
+from repro.experiments import run_general_workload
+from repro.util.tables import format_table
+
+WINDOWS = ((0, 0), (0, 3), (0, 15), (0, 31), (16, 15))
+N_REFS = 120_000
+
+
+def main():
+    print("Random fill windows on streaming vs narrow-locality workloads")
+    print("=" * 66)
+    for bench in ("libquantum", "lbm", "hmmer"):
+        rows = []
+        base = None
+        for a, b in WINDOWS:
+            result = run_general_workload(bench, (a, b), n_refs=N_REFS,
+                                          seed=1)
+            if base is None:
+                base = result.ipc
+            rows.append((f"[{-a},{b}]", f"{result.l1_mpki:.1f}",
+                         f"{result.l2_mpki:.1f}", f"{result.ipc:.3f}",
+                         f"{result.ipc / base:.3f}"))
+        tagged = run_general_workload(bench, (0, 0), n_refs=N_REFS, seed=1,
+                                      scheme_name="tagged_prefetch")
+        rows.append(("tagged prefetch", f"{tagged.l1_mpki:.1f}",
+                     f"{tagged.l2_mpki:.1f}", f"{tagged.ipc:.3f}",
+                     f"{tagged.ipc / base:.3f}"))
+        print()
+        print(format_table(
+            ["window", "L1 MPKI", "L2 MPKI", "IPC", "vs demand"],
+            rows, title=f"{bench}  ([0,0] = demand fetch)"))
+    print("\nForward windows accelerate the streams (MPKI down, IPC up)")
+    print("and beat the next-line prefetcher on irregular strides, while")
+    print("the narrow-locality workload pays a small pollution cost.")
+
+
+if __name__ == "__main__":
+    main()

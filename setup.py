@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `python setup.py develop` in offline
+environments where pip's PEP 660 editable path (which needs the `wheel`
+package) is unavailable. All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro: a reproduction of "Random Fill Cache Architecture"
+(Fangfei Liu and Ruby B. Lee, MICRO-47, 2014).
+
+The package implements the paper's contribution — a cache whose fill
+strategy replaces demand fetch with random fill within a configurable
+neighborhood window — together with every substrate its evaluation
+needs: a two-level cache/DRAM simulator, secure-cache baselines
+(Newcache, PLcache, NoMo, RPcache), a from-scratch T-table AES-128,
+the four classes of cache side-channel attacks, the paper's security
+analyses, SPEC-like synthetic workloads, and an experiment harness
+regenerating every table and figure.
+
+Quick start::
+
+    from repro import build_random_fill_hierarchy
+    system = build_random_fill_hierarchy(seed=1)
+    system.os.create_process(pid=1)
+    system.os.schedule(pid=1)
+    system.os.set_window(-16, 5)       # window [i-16, i+15]
+    result = system.l1.access(0x10000, now=0)
+"""
+
+from repro.core import (
+    RandomFillEngine,
+    RandomFillOS,
+    RandomFillPolicy,
+    RandomFillWindow,
+    build_random_fill_hierarchy,
+)
+from repro.cache import (
+    AccessContext,
+    DemandFetchPolicy,
+    L1Controller,
+    SetAssociativeCache,
+    build_hierarchy,
+)
+from repro.crypto import AES128, TracedAES128
+from repro.experiments import BASELINE_CONFIG, SimulatorConfig, build_scheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AES128",
+    "AccessContext",
+    "BASELINE_CONFIG",
+    "DemandFetchPolicy",
+    "L1Controller",
+    "RandomFillEngine",
+    "RandomFillOS",
+    "RandomFillPolicy",
+    "RandomFillWindow",
+    "SetAssociativeCache",
+    "SimulatorConfig",
+    "TracedAES128",
+    "build_hierarchy",
+    "build_random_fill_hierarchy",
+    "build_scheme",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Security and locality analyses: P1-P2, channel capacity, Eff(d)."""
+
+from repro.analysis.channel_capacity import (
+    channel_capacity_bits,
+    demand_fetch_capacity_bits,
+    figure5_series,
+    normalized_capacity,
+    transition_probability,
+)
+from repro.analysis.hit_probability import (
+    FunctionalRandomFillCache,
+    P1P2Result,
+    monte_carlo_p1_p2,
+    newcache_tag_store_factory,
+    sa_tag_store_factory,
+)
+from repro.analysis.profiling import ProfileResult, profile_reference_ratio
+
+__all__ = [
+    "FunctionalRandomFillCache",
+    "P1P2Result",
+    "ProfileResult",
+    "channel_capacity_bits",
+    "demand_fetch_capacity_bits",
+    "figure5_series",
+    "monte_carlo_p1_p2",
+    "newcache_tag_store_factory",
+    "normalized_capacity",
+    "profile_reference_ratio",
+    "sa_tag_store_factory",
+    "transition_probability",
+]

@@ -1,0 +1,112 @@
+"""Storage-channel capacity of the random fill cache (Section V-B).
+
+The Flush-Reload storage channel is modelled as a discrete channel: the
+victim (sender) accesses security-critical line ``i`` in a region of M
+lines; the attacker (receiver) observes which line ``j`` was filled.
+With random fill, ``j`` is uniform over the window ``[i - a, i + b]``
+(Equation 7); the capacity is the mutual information I(S; R) under a
+uniform sender (Equation 8).  Demand fetch is the identity channel with
+capacity ``log2(M)``.
+
+Figure 5 plots capacity normalized to demand fetch against window size
+normalized to M, for M in {8, 16, 64, 128}.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.window import RandomFillWindow
+
+
+@dataclass(frozen=True)
+class AnalysisWindow:
+    """Unbounded (a, b) window for analytical studies.
+
+    The Figure 5 sweep evaluates windows up to 8x a 128-line region —
+    beyond what the 8-bit hardware range registers encode.  The math
+    only needs ``a``, ``b`` and ``size``, so analytical code may use
+    this in place of :class:`RandomFillWindow`.
+    """
+
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.a < 0 or self.b < 0:
+            raise ValueError(f"bounds must be non-negative: {self.a}, {self.b}")
+
+    @property
+    def size(self) -> int:
+        return self.a + self.b + 1
+
+
+def transition_probability(i: int, j: int, window) -> float:
+    """P(R = j | S = i) of Equation (7)."""
+    if i - window.a <= j <= i + window.b:
+        return 1.0 / window.size
+    return 0.0
+
+
+def channel_capacity_bits(m_lines: int, window) -> float:
+    """Mutual information I(S; R) in bits for a uniform sender.
+
+    ``m_lines`` is M, the number of cache lines of security-critical
+    data; the receiver alphabet spans ``[M0 - a, M0 + M - 1 + b]``
+    (boundary lines leak, as the paper notes).
+    """
+    if m_lines <= 0:
+        raise ValueError(f"m_lines must be positive, got {m_lines}")
+    w = window.size
+    p_sender = 1.0 / m_lines
+    capacity = 0.0
+    # Receiver symbol j (relative coordinates, sender i in [0, M)).
+    for j in range(-window.a, m_lines + window.b):
+        senders = [i for i in range(m_lines) if i - window.a <= j <= i + window.b]
+        if not senders:
+            continue
+        p_j = len(senders) * p_sender / w
+        for _i in senders:
+            joint = p_sender / w
+            capacity += joint * math.log2(joint / (p_sender * p_j))
+    return capacity
+
+
+def demand_fetch_capacity_bits(m_lines: int) -> float:
+    """Identity channel: the attacker learns the line exactly."""
+    if m_lines <= 0:
+        raise ValueError(f"m_lines must be positive, got {m_lines}")
+    return math.log2(m_lines)
+
+
+def normalized_capacity(m_lines: int, window) -> float:
+    """Capacity normalized to the demand fetch case (Figure 5's y-axis)."""
+    if m_lines == 1:
+        # A one-line region carries no information either way.
+        return 0.0
+    return channel_capacity_bits(m_lines, window) / \
+        demand_fetch_capacity_bits(m_lines)
+
+
+def figure5_series(m_values: Sequence[int] = (8, 16, 64, 128),
+                   normalized_window_sizes: Sequence[float] = (
+                       0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0),
+                   ) -> Dict[int, List["tuple[float, float]"]]:
+    """The Figure 5 data: per M, (normalized window size, normalized C).
+
+    Window sizes are rounded to the nearest realizable bidirectional-ish
+    window ``[-ceil(W/2), W - ceil(W/2) - 1]``.
+    """
+    series: Dict[int, List[tuple]] = {}
+    for m in m_values:
+        points = []
+        for norm_w in normalized_window_sizes:
+            w = max(1, round(norm_w * m))
+            a = w // 2
+            b = w - a - 1
+            window = AnalysisWindow(a, b)
+            points.append((w / m, normalized_capacity(m, window)))
+        series[m] = points
+    return series

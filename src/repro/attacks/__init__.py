@@ -1,0 +1,55 @@
+"""Cache side-channel attacks, classified per the paper's Table I.
+
++------------------+---------------------------+------------------------+
+|                  | Contention based          | Reuse based            |
++------------------+---------------------------+------------------------+
+| Access-driven    | Prime-Probe               | Flush-Reload           |
+| Timing-driven    | Evict-Time                | Cache collision        |
++------------------+---------------------------+------------------------+
+
+``CLASSIFICATION`` encodes the table programmatically; the Table I
+benchmark demonstrates each attack against the designs it defeats.
+"""
+
+from repro.attacks.collision import (
+    AttackResult,
+    FinalRoundCollisionAttack,
+    FirstRoundCollisionAttack,
+    PairEstimate,
+)
+from repro.attacks.evict_time import EvictTimeResult, run_evict_time
+from repro.attacks.flush_reload import FlushReloadResult, run_flush_reload_trials
+from repro.attacks.prime_probe import PrimeProbeResult, run_prime_probe_trials
+from repro.attacks.stats import measurements_needed, signal_to_noise
+from repro.attacks.victim import (
+    AesTimingVictim,
+    CleaningConfig,
+    TableLookupVictim,
+)
+
+#: Table I of the paper: (mechanism, observation) -> attack name.
+CLASSIFICATION = {
+    ("contention", "access-driven"): "prime-probe",
+    ("contention", "timing-driven"): "evict-time",
+    ("reuse", "access-driven"): "flush-reload",
+    ("reuse", "timing-driven"): "cache-collision",
+}
+
+__all__ = [
+    "AttackResult",
+    "AesTimingVictim",
+    "CLASSIFICATION",
+    "CleaningConfig",
+    "EvictTimeResult",
+    "FinalRoundCollisionAttack",
+    "FirstRoundCollisionAttack",
+    "FlushReloadResult",
+    "PairEstimate",
+    "PrimeProbeResult",
+    "TableLookupVictim",
+    "measurements_needed",
+    "run_evict_time",
+    "run_flush_reload_trials",
+    "run_prime_probe_trials",
+    "signal_to_noise",
+]

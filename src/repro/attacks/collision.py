@@ -1,0 +1,201 @@
+"""Cache collision timing attacks against AES (Bonneau & Mironov).
+
+The attacker triggers block encryptions of random plaintext, measures
+each encryption's total time, and aggregates the measurements by the
+XOR of a pair of ciphertext (final-round attack) or plaintext
+(first-round attack) bytes.  A cache collision between the pair's table
+lookups lowers the expected time, so the *minimum* average time reveals
+the corresponding key-byte XOR (Figure 2; Section II-C):
+
+* final round:  k10_i ^ k10_j = c_i ^ c_j at the dip (exact byte value),
+* first round:  <k_i ^ k_j> = <p_i ^ p_j> at the dip (line granularity,
+  i.e. the high nibble with 16 four-byte entries per 64-byte line);
+  only byte positions with i = j (mod 4) share a lookup table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.victim import AesTimingVictim
+
+
+@dataclass
+class PairEstimate:
+    """Recovery state for one byte pair."""
+
+    pair: Tuple[int, int]
+    recovered: int
+    true_value: int
+    separation: float  # how far the dip is below the mean, in sigmas
+
+    @property
+    def correct(self) -> bool:
+        return self.recovered == self.true_value
+
+
+@dataclass
+class AttackResult:
+    """Outcome of a collision attack run."""
+
+    measurements: int
+    success: bool
+    pairs: List[PairEstimate]
+    correct_pairs: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.correct_pairs = sum(1 for p in self.pairs if p.correct)
+
+
+class _TimingAccumulator:
+    """Per-pair bucketed timing sums."""
+
+    def __init__(self, buckets: int):
+        self.buckets = buckets
+        self.sums = [0.0] * buckets
+        self.counts = [0] * buckets
+
+    def add(self, bucket: int, value: float) -> None:
+        self.sums[bucket] += value
+        self.counts[bucket] += 1
+
+    def averages(self) -> List[float]:
+        return [s / c if c else float("nan")
+                for s, c in zip(self.sums, self.counts)]
+
+    def argmin(self) -> int:
+        best, best_avg = 0, float("inf")
+        for i, (s, c) in enumerate(zip(self.sums, self.counts)):
+            if c and s / c < best_avg:
+                best, best_avg = i, s / c
+        return best
+
+    def separation_sigmas(self) -> float:
+        """(mean - min) / stddev of the bucket averages (dip depth)."""
+        avgs = [a for a in self.averages() if a == a]  # drop NaN
+        if len(avgs) < 2:
+            return 0.0
+        mean = sum(avgs) / len(avgs)
+        var = sum((a - mean) ** 2 for a in avgs) / (len(avgs) - 1)
+        if var == 0:
+            return 0.0
+        return (mean - min(avgs)) / var ** 0.5
+
+
+class FinalRoundCollisionAttack:
+    """Final-round attack: recovers k10_i ^ k10_j for chosen pairs."""
+
+    def __init__(self, victim: AesTimingVictim,
+                 pairs: Optional[Sequence[Tuple[int, int]]] = None,
+                 seed: int = 0):
+        self.victim = victim
+        self.pairs = list(pairs) if pairs is not None else \
+            [(0, j) for j in range(1, 16)]
+        self._rng = random.Random(seed)
+        self._acc: Dict[Tuple[int, int], _TimingAccumulator] = {
+            pair: _TimingAccumulator(256) for pair in self.pairs}
+        self.measurements = 0
+
+    def collect(self, n: int) -> None:
+        """Take ``n`` more measurements with random plaintext blocks."""
+        rng = self._rng
+        victim = self.victim
+        for _ in range(n):
+            plaintext = rng.getrandbits(128).to_bytes(16, "big")
+            ciphertext, cycles = victim.measure(plaintext)
+            for pair, acc in self._acc.items():
+                i, j = pair
+                acc.add(ciphertext[i] ^ ciphertext[j], cycles)
+        self.measurements += n
+
+    def estimates(self) -> List[PairEstimate]:
+        return [PairEstimate(
+            pair=pair,
+            recovered=acc.argmin(),
+            true_value=self.victim.true_key_byte_xor(*pair),
+            separation=acc.separation_sigmas(),
+        ) for pair, acc in self._acc.items()]
+
+    def timing_characteristic(self, pair: Tuple[int, int]) -> List[Tuple[int, float]]:
+        """Figure 2's chart: (c_i ^ c_j, mean-centred average time)."""
+        acc = self._acc[pair]
+        avgs = acc.averages()
+        valid = [a for a in avgs if a == a]
+        center = sum(valid) / len(valid) if valid else 0.0
+        return [(x, (a - center) if a == a else 0.0)
+                for x, a in enumerate(avgs)]
+
+    def run(self, max_measurements: int, check_every: int = 2000,
+            require_all: bool = True) -> AttackResult:
+        """Collect until every pair (or any pair) is recovered, or cap."""
+        if max_measurements <= 0:
+            raise ValueError("max_measurements must be positive")
+        while self.measurements < max_measurements:
+            batch = min(check_every, max_measurements - self.measurements)
+            self.collect(batch)
+            ests = self.estimates()
+            done = (all(e.correct for e in ests) if require_all
+                    else any(e.correct and e.separation > 3 for e in ests))
+            if done:
+                return AttackResult(self.measurements, True, ests)
+        return AttackResult(self.measurements,
+                            all(e.correct for e in self.estimates()),
+                            self.estimates())
+
+
+class FirstRoundCollisionAttack:
+    """First-round attack: recovers the high nibble of k_i ^ k_j.
+
+    Pairs must satisfy ``i = j (mod 4)`` — first-round lookups of other
+    positions go to different tables and cannot collide.
+    """
+
+    def __init__(self, victim: AesTimingVictim,
+                 pairs: Optional[Sequence[Tuple[int, int]]] = None,
+                 seed: int = 0):
+        self.victim = victim
+        self.pairs = list(pairs) if pairs is not None else \
+            [(0, 4), (0, 8), (0, 12), (1, 5), (2, 6), (3, 7)]
+        for i, j in self.pairs:
+            if (i - j) % 4:
+                raise ValueError(
+                    f"pair ({i},{j}) uses different first-round tables")
+        self._rng = random.Random(seed)
+        self._acc: Dict[Tuple[int, int], _TimingAccumulator] = {
+            pair: _TimingAccumulator(16) for pair in self.pairs}
+        self.measurements = 0
+
+    def collect(self, n: int) -> None:
+        rng = self._rng
+        victim = self.victim
+        for _ in range(n):
+            plaintext = rng.getrandbits(128).to_bytes(16, "big")
+            _, cycles = victim.measure(plaintext)
+            for pair, acc in self._acc.items():
+                i, j = pair
+                acc.add((plaintext[i] ^ plaintext[j]) >> 4, cycles)
+        self.measurements += n
+
+    def estimates(self) -> List[PairEstimate]:
+        return [PairEstimate(
+            pair=pair,
+            recovered=acc.argmin(),
+            true_value=self.victim.true_first_round_xor_nibble(*pair),
+            separation=acc.separation_sigmas(),
+        ) for pair, acc in self._acc.items()]
+
+    def run(self, max_measurements: int,
+            check_every: int = 2000) -> AttackResult:
+        if max_measurements <= 0:
+            raise ValueError("max_measurements must be positive")
+        while self.measurements < max_measurements:
+            batch = min(check_every, max_measurements - self.measurements)
+            self.collect(batch)
+            ests = self.estimates()
+            if all(e.correct for e in ests):
+                return AttackResult(self.measurements, True, ests)
+        return AttackResult(self.measurements,
+                            all(e.correct for e in self.estimates()),
+                            self.estimates())

@@ -1,0 +1,84 @@
+"""Evict-Time attack: the contention based timing-driven channel.
+
+The attacker evicts one cache set by filling it with its own data, then
+triggers the victim and measures the victim's *total* execution time.
+If the victim's secret-dependent access maps to the evicted set, the
+victim takes a cache miss and runs statistically longer (Section II-B).
+
+Like Prime-Probe this is defeated by mapping randomization (Newcache /
+RPcache), not by the random fill strategy alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.attacks.victim import TableLookupVictim
+from repro.cache.context import AccessContext
+
+ATTACKER_BASE_LINE = 0xA00_0000 // 64
+
+
+@dataclass
+class EvictTimeResult:
+    trials_per_set: int
+    inferred_set: int
+    true_set: int
+    avg_time_per_set: List[float]
+
+    @property
+    def success(self) -> bool:
+        return self.inferred_set == self.true_set
+
+
+def run_evict_time(victim: TableLookupVictim, secret: int,
+                   num_sets: int, associativity: int,
+                   trials_per_set: int = 30,
+                   seed: int = 0) -> EvictTimeResult:
+    """Evict each set in turn; the slowest victim runs reveal the set.
+
+    The victim performs its secret lookup (always the same ``secret``)
+    after the attacker evicted one candidate set; the set with the
+    highest average victim time is the inference.
+    """
+    if trials_per_set <= 0:
+        raise ValueError("trials_per_set must be positive")
+    rng = random.Random(seed)
+    l1 = victim.l1
+    attacker_ctx = AccessContext(thread_id=1, domain=1)
+    victim_line = victim.region.first_line + secret
+
+    def one_round(target_set: int) -> int:
+        # Warm the victim's line so only the eviction matters.
+        store = l1.tag_store
+        if not store.access(victim_line, victim.ctx):
+            store.fill(victim_line, victim.ctx)
+        # Evict: fill the target set with attacker lines.
+        for way in range(associativity + 1):
+            line = ATTACKER_BASE_LINE + way * num_sets + target_set \
+                + rng.randrange(4) * num_sets * (associativity + 2)
+            if not store.access(line, attacker_ctx):
+                store.fill(line, attacker_ctx)
+        # Time: trigger the victim and measure.
+        return victim.run_once(secret).cycles
+
+    # Untimed warm-up round so cold-hierarchy effects (L2, DRAM row
+    # state) don't bias the first sets probed; then interleave rounds
+    # across sets so residual drift averages out.
+    for target_set in range(num_sets):
+        one_round(target_set)
+    totals = [0] * num_sets
+    for _ in range(trials_per_set):
+        for target_set in range(num_sets):
+            totals[target_set] += one_round(target_set)
+    avg_times: List[float] = [t / trials_per_set for t in totals]
+
+    inferred = max(range(num_sets), key=lambda s: avg_times[s])
+    return EvictTimeResult(
+        trials_per_set=trials_per_set,
+        inferred_set=inferred,
+        true_set=victim_line % num_sets,
+        avg_time_per_set=avg_times,
+    )

@@ -1,0 +1,46 @@
+"""Attack statistics: the Equation (5) measurement-count model.
+
+    N ~= 2 * Z_alpha^2 / ((P1 - P2)(t_miss - t_hit) / sigma_T)^2
+
+gives the number of timing measurements a cache collision attack needs
+for a success likelihood ``alpha``.  As P1 - P2 -> 0 the required
+number of measurements diverges — the random fill cache's security
+argument for the timing channel.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.stats import normal_quantile
+
+
+def measurements_needed(p1_minus_p2: float,
+                        t_miss: float, t_hit: float,
+                        sigma_t: float, alpha: float = 0.99) -> float:
+    """Equation (5); returns ``math.inf`` when the signal is zero.
+
+    Parameters mirror the paper: ``p1_minus_p2`` is the attacker's hit
+    probability signal, ``t_miss - t_hit`` the cache timing gap,
+    ``sigma_t`` the standard deviation of the total execution time, and
+    ``alpha`` the desired likelihood of discovering the key.
+    """
+    if sigma_t <= 0:
+        raise ValueError(f"sigma_t must be positive, got {sigma_t}")
+    if t_miss <= t_hit:
+        raise ValueError("t_miss must exceed t_hit")
+    if not 0.5 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0.5, 1), got {alpha}")
+    signal = p1_minus_p2 * (t_miss - t_hit) / sigma_t
+    if signal == 0.0:
+        return math.inf
+    z = normal_quantile(alpha)
+    return 2.0 * z * z / (signal * signal)
+
+
+def signal_to_noise(p1_minus_p2: float, t_miss: float, t_hit: float,
+                    sigma_t: float) -> float:
+    """The attacker's per-measurement SNR, Equation (4) over sigma_T."""
+    if sigma_t <= 0:
+        raise ValueError(f"sigma_t must be positive, got {sigma_t}")
+    return p1_minus_p2 * (t_miss - t_hit) / sigma_t

@@ -1,0 +1,157 @@
+"""Victim processes the attacks target.
+
+:class:`AesTimingVictim` is the Section II-C victim: a service that
+encrypts attacker-supplied plaintext blocks with a secret key while the
+attacker measures wall-clock (cycle) time.  The attacker "cleans the
+cache so that each block encryption starts from a clean cache"; the
+cleaning strategy is configurable because its effectiveness differs by
+design (a random-replacement Newcache is harder to clean — the paper's
+Table III note).
+
+:class:`TableLookupVictim` is the minimal secret-dependent-access
+process used by the Prime+Probe / Evict+Time / Flush+Reload demos.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cache.context import AccessContext, DEFAULT_CONTEXT
+from repro.cache.controller import L1Controller
+from repro.cpu.timing import SimResult, TimingModel
+from repro.crypto.traced_aes import AesMemoryLayout, TracedAES128
+from repro.secure.region import ProtectedRegion
+
+
+@dataclass(frozen=True)
+class CleaningConfig:
+    """How the attacker cleans the cache between measurements.
+
+    ``strategy`` is ``"flush"`` (a perfect clean, e.g. clflush on every
+    victim line) or ``"evict"`` (the attacker walks a large buffer; for
+    random-replacement caches this leaves residue).  ``buffer_factor``
+    scales the eviction buffer relative to cache capacity.
+    """
+
+    strategy: str = "flush"
+    buffer_factor: int = 4
+    buffer_base: int = 0x800_0000
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("flush", "evict"):
+            raise ValueError(f"unknown cleaning strategy {self.strategy!r}")
+        if self.buffer_factor < 1:
+            raise ValueError("buffer_factor must be >= 1")
+
+
+class AesTimingVictim:
+    """AES encryption service measured by a timing attacker."""
+
+    def __init__(self, l1: L1Controller, key: bytes,
+                 layout: AesMemoryLayout = AesMemoryLayout(),
+                 ctx: AccessContext = DEFAULT_CONTEXT,
+                 cleaning: CleaningConfig = CleaningConfig(),
+                 issue_width: int = 4, overlap_credit: int = 8,
+                 gap: int = 3, extra_refs_per_block: int = 456):
+        self.l1 = l1
+        self.aes = TracedAES128(key, layout=layout, gap=gap,
+                                extra_refs_per_block=extra_refs_per_block)
+        self.layout = layout
+        self.ctx = ctx
+        self.cleaning = cleaning
+        self.timing = TimingModel(l1, issue_width=issue_width,
+                                  overlap_credit=overlap_credit)
+        self._clean_cursor = 0
+
+    # -- attacker-side cache cleaning ------------------------------------
+
+    def clean_cache(self) -> None:
+        l1 = self.l1
+        if self.cleaning.strategy == "flush":
+            l1.flush()
+        else:
+            l1.settle()
+            l1.miss_queue.flush()
+            l1.fill_queue.clear()
+            store = l1.tag_store
+            lines = store.capacity_lines * self.cleaning.buffer_factor
+            base_line = self.cleaning.buffer_base // 64
+            # Rotate through a 2x-larger buffer so LRU state varies.
+            start = self._clean_cursor
+            self._clean_cursor = (self._clean_cursor + lines) % (2 * lines)
+            for i in range(lines):
+                line = base_line + ((start + i) % (2 * lines))
+                if not store.access(line):
+                    store.fill(line)
+        # Reset DRAM bank timing so each measurement starts at cycle 0.
+        self.l1.next_level.dram.reset()
+
+    # -- the attacker's measurement oracle --------------------------------
+
+    def measure(self, plaintext: bytes) -> Tuple[bytes, int]:
+        """One measurement: clean cache, encrypt a block, return time."""
+        self.clean_cache()
+        ciphertext, trace = self.aes.encrypt_block_traced(plaintext)
+        result = self.timing.run(trace, self.ctx)
+        return ciphertext, result.cycles
+
+    # -- ground truth for evaluating attack success -----------------------
+
+    def true_final_round_key(self) -> bytes:
+        """The 10th-round key (what the final-round attack recovers)."""
+        return b"".join(w.to_bytes(4, "big")
+                        for w in self.aes.round_keys[40:44])
+
+    def true_key_byte_xor(self, i: int, j: int) -> int:
+        """k10_i ^ k10_j, the target of a final-round pair recovery."""
+        k10 = self.true_final_round_key()
+        return k10[i] ^ k10[j]
+
+    def true_first_round_xor_nibble(self, i: int, j: int) -> int:
+        """High nibble of k_i ^ k_j (first-round, line-granularity)."""
+        key = b"".join(w.to_bytes(4, "big") for w in self.aes.round_keys[:4])
+        return (key[i] ^ key[j]) >> 4
+
+
+class TableLookupVictim:
+    """Minimal victim: one secret-dependent lookup into an M-line table."""
+
+    def __init__(self, l1: L1Controller, region: ProtectedRegion,
+                 ctx: AccessContext = DEFAULT_CONTEXT,
+                 noise_refs: int = 16, noise_base: int = 0x600_0000,
+                 seed: int = 0):
+        if noise_refs < 0:
+            raise ValueError("noise_refs must be >= 0")
+        self.l1 = l1
+        self.region = region
+        self.ctx = ctx
+        self.noise_refs = noise_refs
+        self.noise_base = noise_base
+        # A fixed noise footprint: the victim's non-critical working set
+        # is the same every invocation (its code/stack), so repeated runs
+        # differ only through the secret-dependent access.
+        rng = random.Random(seed)
+        self._noise_lines = [rng.randrange(64) for _ in range(64)]
+        self._noise_cursor = 0
+        self.timing = TimingModel(l1)
+
+    def _next_noise_addr(self) -> int:
+        line = self._noise_lines[self._noise_cursor]
+        self._noise_cursor = (self._noise_cursor + 1) % len(self._noise_lines)
+        return self.noise_base + line * 64
+
+    def run_once(self, secret: int) -> SimResult:
+        """Perform the secret lookup plus some unrelated work."""
+        if not 0 <= secret < self.region.num_lines:
+            raise ValueError(
+                f"secret {secret} outside table of {self.region.num_lines} lines")
+        trace = []
+        for _ in range(self.noise_refs):
+            trace.append((self._next_noise_addr(), 2, 0))
+        secret_line = self.region.first_line + secret
+        trace.append((secret_line * self.region.line_size, 2, 0))
+        for _ in range(self.noise_refs):
+            trace.append((self._next_noise_addr(), 2, 0))
+        return self.timing.run(trace, self.ctx)

@@ -1,0 +1,48 @@
+"""Cache substrate: tag stores, replacement, MSHRs, L1/L2 controllers."""
+
+from repro.cache.context import AccessContext, DEFAULT_CONTEXT
+from repro.cache.controller import (
+    AccessResult,
+    DemandFetchPolicy,
+    FillPolicy,
+    L1Controller,
+    MissPlan,
+)
+from repro.cache.hierarchy import Hierarchy, build_hierarchy
+from repro.cache.l2 import L2Cache
+from repro.cache.mshr import MissEntry, MissQueue, RequestType
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.cache.tagstore import LineState, TagStore
+
+__all__ = [
+    "AccessContext",
+    "AccessResult",
+    "CacheStats",
+    "DEFAULT_CONTEXT",
+    "DemandFetchPolicy",
+    "FifoPolicy",
+    "FillPolicy",
+    "Hierarchy",
+    "L1Controller",
+    "L2Cache",
+    "LineState",
+    "LruPolicy",
+    "MissEntry",
+    "MissPlan",
+    "MissQueue",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "RequestType",
+    "SetAssociativeCache",
+    "TagStore",
+    "build_hierarchy",
+    "make_policy",
+]

@@ -1,0 +1,38 @@
+"""Per-access context: which thread issued the access and how.
+
+A single object travels with every memory reference through the cache
+hierarchy.  It carries the information the secure cache designs key off:
+
+* ``thread_id`` — SMT hardware thread (NoMo partitions by it, the random
+  fill window registers are per-thread processor context),
+* ``domain`` — trust domain (RPcache permutation tables are per-domain,
+  Newcache remapping tables are per protected domain),
+* ``critical`` — the access touches security-critical data (the
+  disable-cache scheme bypasses the cache for these),
+* ``lock`` / ``unlock`` — PLcache's special load/store variants that set
+  or clear the cache line's locking bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AccessContext:
+    """Immutable description of who/how a memory access is performed."""
+
+    thread_id: int = 0
+    domain: int = 0
+    critical: bool = False
+    lock: bool = False
+    unlock: bool = False
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lock and self.unlock:
+            raise ValueError("an access cannot both lock and unlock")
+
+
+#: Default context for single-threaded, non-critical accesses.
+DEFAULT_CONTEXT = AccessContext()

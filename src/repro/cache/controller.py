@@ -1,0 +1,253 @@
+"""L1 cache controller: timing, miss queue, and a pluggable fill strategy.
+
+This is the block diagram of Figure 3 minus the random fill engine.  The
+controller owns:
+
+* the tag store (any :class:`~repro.cache.tagstore.TagStore`),
+* the non-blocking miss queue (4 entries in Table IV),
+* a *fill policy* deciding, per miss, whether the demand line fills the
+  cache and which extra lines (if any) should be randomly filled,
+* the random fill queue — a FIFO where extra fill requests "wait for idle
+  cycles to lookup the tag array" (Section IV-B.2).  We drain it at every
+  access boundary; a request that hits in the tag array or merges with an
+  in-flight miss is dropped, exactly as in the paper.
+
+The demand-fetch baseline is :class:`DemandFetchPolicy`; the paper's
+contribution plugs in via :class:`repro.core.policy.RandomFillPolicy`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.cache.context import AccessContext, DEFAULT_CONTEXT
+from repro.cache.l2 import L2Cache
+from repro.cache.mshr import MissQueue, RequestType
+from repro.cache.stats import CacheStats
+from repro.cache.tagstore import TagStore
+from repro.memory.address import AddressMap
+
+
+@dataclass(frozen=True)
+class MissPlan:
+    """What the fill policy wants done for one demand miss.
+
+    ``demand_type`` is NORMAL (fill + forward) or NOFILL (forward only);
+    ``random_fill_lines`` are extra line addresses for the fill queue.
+    """
+
+    demand_type: RequestType
+    random_fill_lines: Tuple[int, ...] = ()
+
+
+class FillPolicy:
+    """Strategy interface consulted by the L1 controller."""
+
+    def bypass(self, line_addr: int, ctx: AccessContext) -> bool:
+        """True to skip the cache entirely (the disable-cache scheme)."""
+        return False
+
+    def on_miss(self, line_addr: int, ctx: AccessContext) -> MissPlan:
+        raise NotImplementedError
+
+    def on_hit(self, line_addr: int, ctx: AccessContext) -> None:
+        """Hook for policies that react to hits (none in the paper)."""
+
+
+class DemandFetchPolicy(FillPolicy):
+    """The conventional policy: every miss demand-fills the cache."""
+
+    def on_miss(self, line_addr: int, ctx: AccessContext) -> MissPlan:
+        return MissPlan(RequestType.NORMAL)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one L1 access."""
+
+    ready_at: int          # cycle the demanded data reaches the CPU
+    l1_hit: bool
+    merged: bool = False   # satisfied by an in-flight miss (MSHR merge)
+    bypassed: bool = False
+    stalled_for_mshr: int = 0  # cycles spent waiting for a free MSHR
+    line_addr: int = -1        # line accessed (for CPU-side bookkeeping)
+
+
+class L1Controller:
+    """Non-blocking L1 data cache with a pluggable fill strategy."""
+
+    def __init__(self, tag_store: TagStore, next_level: L2Cache,
+                 policy: Optional[FillPolicy] = None,
+                 hit_latency: int = 1,
+                 mshr_entries: int = 4,
+                 fill_queue_capacity: int = 8,
+                 line_size: int = 64):
+        self.tag_store = tag_store
+        self.next_level = next_level
+        self.policy = policy if policy is not None else DemandFetchPolicy()
+        self.hit_latency = hit_latency
+        self.miss_queue = MissQueue(mshr_entries)
+        self.fill_queue: Deque[Tuple[int, AccessContext]] = deque()
+        self.fill_queue_capacity = fill_queue_capacity
+        # MSHRs held back from fill requests so demands never starve
+        # (0 when there is only one MSHR — the Table III attack setup).
+        self.fill_reserve = 1 if mshr_entries > 1 else 0
+        self.amap = AddressMap(line_size=line_size, num_sets=1)
+        self.stats = CacheStats()
+
+    # -- internals ---------------------------------------------------------
+
+    def _install(self, line_addr: int, ctx: AccessContext) -> None:
+        """Fill callback invoked when an in-flight line's data returns."""
+        evicted = self.tag_store.fill(line_addr, ctx)
+        self.stats.fills += 1
+        if evicted is not None:
+            self.stats.evictions += 1
+
+    def _drain(self, now: int) -> None:
+        self.miss_queue.drain(now, self._install)
+
+    def _issue_random_fills(self, now: int) -> None:
+        """Give queued random fill requests their idle-cycle tag lookup."""
+        requeue: List[Tuple[int, AccessContext]] = []
+        while self.fill_queue:
+            line_addr, ctx = self.fill_queue.popleft()
+            if self.tag_store.probe(line_addr, ctx):
+                self.stats.random_fill_dropped += 1
+                continue
+            in_flight = self.miss_queue.lookup(line_addr)
+            if in_flight is not None:
+                # Merge with the outstanding miss.  A NOFILL entry is
+                # upgraded: its data is already on the way, and the
+                # random fill request asks for it to be installed.
+                if in_flight.request_type is RequestType.NOFILL:
+                    in_flight.request_type = RequestType.RANDOM_FILL
+                    self.stats.random_fill_issued += 1
+                else:
+                    self.stats.random_fill_dropped += 1
+                continue
+            if len(self.miss_queue) >= self.miss_queue.capacity - self.fill_reserve:
+                # Keep a reserved MSHR free for demand misses so fill
+                # traffic cannot stall the processor outright.
+                requeue.append((line_addr, ctx))
+                break
+            complete_at = self.next_level.access(line_addr, now, ctx)
+            self.stats.next_level_requests += 1
+            self.stats.random_fill_issued += 1
+            self.miss_queue.allocate(line_addr, complete_at,
+                                     RequestType.RANDOM_FILL, ctx)
+        for item in reversed(requeue):
+            self.fill_queue.appendleft(item)
+
+    def _enqueue_random_fills(self, lines: Tuple[int, ...],
+                              ctx: AccessContext) -> None:
+        for line_addr in lines:
+            if line_addr < 0:
+                # Window underflow below address zero: nothing to fetch.
+                self.stats.random_fill_dropped += 1
+                continue
+            if len(self.fill_queue) >= self.fill_queue_capacity:
+                self.stats.random_fill_dropped += 1
+                continue
+            self.fill_queue.append((line_addr, ctx))
+
+    # -- public API ----------------------------------------------------------
+
+    def access(self, byte_addr: int, now: int,
+               ctx: AccessContext = DEFAULT_CONTEXT) -> AccessResult:
+        """One demand access at cycle ``now``; returns timing + outcome."""
+        line_addr = self.amap.line_of(byte_addr)
+        self.stats.accesses += 1
+        self._drain(now)
+
+        if self.policy.bypass(line_addr, ctx):
+            # Disable-cache scheme: straight to L2, no L1 state change.
+            # The L2 still fills — the defence targets the L1 channel.
+            ready = self.next_level.access(line_addr, now, ctx, fill=True)
+            self.stats.demand_misses += 1
+            self.stats.next_level_requests += 1
+            return AccessResult(ready_at=ready, l1_hit=False, bypassed=True,
+                                line_addr=line_addr)
+
+        if self.tag_store.access(line_addr, ctx):
+            self.stats.hits += 1
+            self.policy.on_hit(line_addr, ctx)
+            self._issue_random_fills(now)
+            return AccessResult(ready_at=now + self.hit_latency, l1_hit=True,
+                                line_addr=line_addr)
+
+        in_flight = self.miss_queue.lookup(line_addr)
+        if in_flight is not None:
+            # Secondary miss: merge; data usable when the line arrives.
+            self.stats.mshr_merges += 1
+            ready = max(in_flight.complete_at, now) + self.hit_latency
+            return AccessResult(ready_at=ready, l1_hit=False, merged=True,
+                                line_addr=line_addr)
+
+        # Requests claim MSHRs in arrival order: random fill requests
+        # already waiting in the fill queue are older than this demand
+        # miss, so they get first pick of free entries.
+        self._issue_random_fills(now)
+        in_flight = self.miss_queue.lookup(line_addr)
+        if in_flight is not None:
+            # A queued random fill for this very line just issued.
+            self.stats.mshr_merges += 1
+            ready = max(in_flight.complete_at, now) + self.hit_latency
+            return AccessResult(ready_at=ready, l1_hit=False, merged=True,
+                                line_addr=line_addr)
+
+        stall = 0
+        if self.miss_queue.full:
+            freed_at = self.miss_queue.earliest_completion()
+            stall = max(0, freed_at - now)
+            now += stall
+            self._drain(now)
+            # The drained line might be the one we want.
+            if self.tag_store.access(line_addr, ctx):
+                self.stats.hits += 1
+                return AccessResult(now + self.hit_latency, l1_hit=True,
+                                    stalled_for_mshr=stall,
+                                    line_addr=line_addr)
+
+        plan = self.policy.on_miss(line_addr, ctx)
+        complete_at = self.next_level.access(line_addr, now, ctx)
+        self.stats.demand_misses += 1
+        self.stats.next_level_requests += 1
+        self.miss_queue.allocate(line_addr, complete_at, plan.demand_type, ctx)
+        self._enqueue_random_fills(plan.random_fill_lines, ctx)
+        self._issue_random_fills(now)
+        return AccessResult(ready_at=complete_at, l1_hit=False,
+                            stalled_for_mshr=stall, line_addr=line_addr)
+
+    def settle(self, now: int = None) -> None:
+        """Complete all in-flight activity (end-of-run bookkeeping).
+
+        With ``now=None`` everything outstanding is retired regardless of
+        completion time.
+        """
+        while self.fill_queue or len(self.miss_queue):
+            if len(self.miss_queue):
+                horizon = self.miss_queue.earliest_completion() if now is None \
+                    else now
+                self.miss_queue.drain(max(horizon, 0), self._install)
+            if self.fill_queue:
+                if self.miss_queue.full:
+                    continue
+                horizon = 0 if now is None else now
+                self._issue_random_fills(horizon)
+            if now is not None:
+                # Bounded settle: drop whatever cannot complete by `now`.
+                self.miss_queue.flush()
+                self.fill_queue.clear()
+                break
+
+    def flush(self) -> None:
+        """Flush tag store and discard in-flight state (clean-cache reset)."""
+        self.tag_store.flush()
+        self.miss_queue.flush()
+        self.fill_queue.clear()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

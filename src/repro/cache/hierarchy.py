@@ -1,0 +1,59 @@
+"""Convenience builder wiring L1 + L2 + DRAM into one object.
+
+Experiments construct hierarchies from a
+:class:`repro.experiments.config.SimulatorConfig`; this module provides
+the lower-level assembly so tests and examples can build odd shapes
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.controller import FillPolicy, L1Controller
+from repro.cache.l2 import L2Cache
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.tagstore import TagStore
+from repro.memory.dram import DramConfig, DramModel
+
+
+@dataclass
+class Hierarchy:
+    """A complete memory hierarchy: L1 controller, L2, DRAM."""
+
+    l1: L1Controller
+    l2: L2Cache
+    dram: DramModel
+
+    def flush_all(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+        self.dram.reset()
+
+    def reset_stats(self) -> None:
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+
+
+def build_hierarchy(l1_tag_store: Optional[TagStore] = None,
+                    policy: Optional[FillPolicy] = None,
+                    l1_size: int = 32 * 1024,
+                    l1_assoc: int = 4,
+                    line_size: int = 64,
+                    l1_hit_latency: int = 1,
+                    l2_size: int = 2 * 1024 * 1024,
+                    l2_assoc: int = 8,
+                    l2_hit_latency: int = 20,
+                    mshr_entries: int = 4,
+                    dram_config: DramConfig = DramConfig()) -> Hierarchy:
+    """Assemble the Table IV hierarchy (defaults match the paper)."""
+    if l1_tag_store is None:
+        l1_tag_store = SetAssociativeCache(l1_size, l1_assoc, line_size)
+    dram = DramModel(dram_config)
+    l2 = L2Cache(dram=dram, size_bytes=l2_size, associativity=l2_assoc,
+                 line_size=line_size, hit_latency=l2_hit_latency)
+    l1 = L1Controller(l1_tag_store, l2, policy=policy,
+                      hit_latency=l1_hit_latency, mshr_entries=mshr_entries,
+                      line_size=line_size)
+    return Hierarchy(l1=l1, l2=l2, dram=dram)

@@ -1,0 +1,67 @@
+"""L2 cache controller: unified second level backed by DRAM.
+
+Table IV: 8-way, 2 MB, 20-cycle hit latency.  The L2 is modelled as a
+blocking level (its latency is already small next to DRAM, and the L1
+miss queue provides the overlap that matters).  An optional ``fill``
+argument lets an L1 random fill *at both levels* be simulated
+(Section VI studies L1+L2 random fill caches); by default every request
+that misses fills the L2, as in a conventional inclusive-ish hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.context import AccessContext, DEFAULT_CONTEXT
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.cache.tagstore import TagStore
+from repro.memory.dram import DramModel
+
+
+class L2Cache:
+    """Second-level cache + memory controller front end."""
+
+    def __init__(self, tag_store: Optional[TagStore] = None,
+                 dram: Optional[DramModel] = None,
+                 size_bytes: int = 2 * 1024 * 1024,
+                 associativity: int = 8,
+                 line_size: int = 64,
+                 hit_latency: int = 20):
+        self.tag_store = tag_store if tag_store is not None else \
+            SetAssociativeCache(size_bytes, associativity, line_size)
+        self.dram = dram if dram is not None else DramModel()
+        self.hit_latency = hit_latency
+        self.stats = CacheStats()
+
+    def access(self, line_addr: int, now: int,
+               ctx: AccessContext = DEFAULT_CONTEXT,
+               fill: bool = True) -> int:
+        """Service a line request issued at cycle ``now``.
+
+        Returns the cycle at which the line's data is available to the
+        requester (critical word first at this granularity).
+        """
+        self.stats.accesses += 1
+        if self.tag_store.access(line_addr, ctx):
+            self.stats.hits += 1
+            return now + self.hit_latency
+        self.stats.demand_misses += 1
+        self.stats.next_level_requests += 1
+        done = self.dram.access(line_addr, now + self.hit_latency)
+        if fill:
+            evicted = self.tag_store.fill(line_addr, ctx)
+            self.stats.fills += 1
+            if evicted is not None:
+                self.stats.evictions += 1
+        return done
+
+    def probe(self, line_addr: int) -> bool:
+        return self.tag_store.probe(line_addr)
+
+    def flush(self) -> None:
+        self.tag_store.flush()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.dram.reset_stats()

@@ -1,0 +1,110 @@
+"""Non-blocking cache miss queue (MSHR file).
+
+Models the structure Figure 3 extends: each entry records the missing
+line address, when its data returns, and — the paper's addition — the
+*request type* field that decides whether the returned line fills the
+cache (``NORMAL``/``RANDOM_FILL``) or is only forwarded to the processor
+(``NOFILL``).  Table IV gives 4 entries.
+
+The queue is drained lazily: callers invoke :meth:`drain` with the
+current cycle before touching the tag store, and completed entries whose
+type fills the cache are installed then.  Requests to a line already in
+flight merge into the existing entry (they are *not* new misses for MPKI
+purposes — Section VII's MPKI definition excludes them).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+from repro.cache.context import AccessContext
+
+
+class RequestType(Enum):
+    """Miss-queue request types (Section IV-B.1)."""
+
+    NORMAL = "normal"            # demand fetch: fill cache + data to CPU
+    NOFILL = "nofill"            # data to CPU, no cache fill
+    RANDOM_FILL = "random_fill"  # cache fill only, no data to CPU
+
+
+class MissEntry:
+    """One in-flight miss."""
+
+    __slots__ = ("line_addr", "complete_at", "request_type", "ctx")
+
+    def __init__(self, line_addr: int, complete_at: int,
+                 request_type: RequestType, ctx: AccessContext):
+        self.line_addr = line_addr
+        self.complete_at = complete_at
+        self.request_type = request_type
+        self.ctx = ctx
+
+    @property
+    def fills_cache(self) -> bool:
+        return self.request_type is not RequestType.NOFILL
+
+
+FillCallback = Callable[[int, AccessContext], None]
+
+
+class MissQueue:
+    """Fixed-capacity MSHR file with merge and lazy drain."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: Dict[int, MissEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line_addr: int) -> Optional[MissEntry]:
+        """Outstanding entry for this line, if any (merge check)."""
+        return self._entries.get(line_addr)
+
+    def earliest_completion(self) -> int:
+        """Cycle the next entry completes; queue must be non-empty."""
+        if not self._entries:
+            raise ValueError("earliest_completion() on empty miss queue")
+        return min(e.complete_at for e in self._entries.values())
+
+    def allocate(self, line_addr: int, complete_at: int,
+                 request_type: RequestType, ctx: AccessContext) -> MissEntry:
+        """Insert a new entry; caller must have checked ``full``."""
+        if self.full:
+            raise RuntimeError("miss queue overflow — drain or stall first")
+        if line_addr in self._entries:
+            raise RuntimeError(f"duplicate miss entry for line 0x{line_addr:x}")
+        entry = MissEntry(line_addr, complete_at, request_type, ctx)
+        self._entries[line_addr] = entry
+        return entry
+
+    def drain(self, now: int, fill_callback: FillCallback) -> int:
+        """Retire entries completed by cycle ``now``.
+
+        Entries whose request type fills the cache are handed to
+        ``fill_callback`` in completion order.  Returns the number of
+        entries retired.
+        """
+        if not self._entries:
+            return 0
+        done = [e for e in self._entries.values() if e.complete_at <= now]
+        if not done:
+            return 0
+        done.sort(key=lambda e: e.complete_at)
+        for entry in done:
+            del self._entries[entry.line_addr]
+            if entry.fills_cache:
+                fill_callback(entry.line_addr, entry.ctx)
+        return len(done)
+
+    def flush(self) -> None:
+        """Discard all in-flight entries (used when resetting state)."""
+        self._entries.clear()

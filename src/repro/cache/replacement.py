@@ -1,0 +1,111 @@
+"""Replacement policies for set-associative tag stores.
+
+Policies operate on one set at a time.  A set is a list of
+:class:`repro.cache.tagstore.LineState` ordered however the policy likes;
+the policy owns the ordering discipline.  The baseline configuration
+(Table IV) uses LRU; Newcache uses random replacement internally;
+FIFO is provided for ablations.
+
+Victim selection is *lock-aware*: PLcache lines whose ``locked`` flag is
+set and whose owner differs from the requester are never chosen.  If every
+line in the set is unevictable the policy returns ``None`` and the
+controller treats the access as a no-fill miss (the PLcache semantics).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.util.rng import HardwareRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.cache.tagstore import LineState
+
+
+class ReplacementPolicy:
+    """Interface: ordering + victim choice for one cache set."""
+
+    name = "abstract"
+
+    def on_hit(self, cache_set: "List[LineState]", index: int) -> None:
+        """Update recency state after a hit on ``cache_set[index]``."""
+        raise NotImplementedError
+
+    def on_fill(self, cache_set: "List[LineState]", line: "LineState") -> None:
+        """Insert a newly filled line into the set's ordering."""
+        raise NotImplementedError
+
+    def choose_victim(
+        self, cache_set: "List[LineState]", evictable: "List[int]"
+    ) -> Optional[int]:
+        """Pick the index to evict among ``evictable`` indices, or None."""
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used: MRU at index 0, LRU at the end."""
+
+    name = "lru"
+
+    def on_hit(self, cache_set, index):
+        if index != 0:
+            cache_set.insert(0, cache_set.pop(index))
+
+    def on_fill(self, cache_set, line):
+        cache_set.insert(0, line)
+
+    def choose_victim(self, cache_set, evictable):
+        if not evictable:
+            return None
+        # Highest index among evictable lines = least recently used.
+        return max(evictable)
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: insertion order only, hits do not reorder."""
+
+    name = "fifo"
+
+    def on_hit(self, cache_set, index):
+        pass
+
+    def on_fill(self, cache_set, line):
+        cache_set.insert(0, line)
+
+    def choose_victim(self, cache_set, evictable):
+        if not evictable:
+            return None
+        return max(evictable)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim among evictable lines."""
+
+    name = "random"
+
+    def __init__(self, rng: HardwareRng):
+        self._rng = rng
+
+    def on_hit(self, cache_set, index):
+        pass
+
+    def on_fill(self, cache_set, line):
+        cache_set.append(line)
+
+    def choose_victim(self, cache_set, evictable):
+        if not evictable:
+            return None
+        return evictable[self._rng.draw_below(len(evictable))]
+
+
+def make_policy(name: str, rng: Optional[HardwareRng] = None) -> ReplacementPolicy:
+    """Factory used by configuration code (``"lru"``/``"fifo"``/``"random"``)."""
+    if name == "lru":
+        return LruPolicy()
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "random":
+        if rng is None:
+            raise ValueError("random replacement needs an rng")
+        return RandomPolicy(rng)
+    raise ValueError(f"unknown replacement policy: {name!r}")

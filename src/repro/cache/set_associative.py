@@ -1,0 +1,133 @@
+"""Conventional set-associative tag store (the paper's baseline cache).
+
+Geometry follows Table IV: configurable size/associativity, 64-byte
+lines, LRU replacement by default.  Direct-mapped is associativity 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.cache.context import AccessContext, DEFAULT_CONTEXT
+from repro.cache.replacement import LruPolicy, ReplacementPolicy
+from repro.cache.tagstore import LineState, TagStore
+from repro.memory.address import AddressMap
+
+
+class SetAssociativeCache(TagStore):
+    """Set-associative cache tag store.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total data capacity.
+    associativity:
+        Ways per set (1 = direct mapped).
+    line_size:
+        Line size in bytes (64 in the paper).
+    policy:
+        Replacement policy; default LRU (Table IV).
+    """
+
+    def __init__(self, size_bytes: int, associativity: int,
+                 line_size: int = 64,
+                 policy: Optional[ReplacementPolicy] = None):
+        if size_bytes <= 0 or size_bytes % (associativity * line_size):
+            raise ValueError(
+                f"size {size_bytes} not divisible into {associativity}-way "
+                f"sets of {line_size}-byte lines"
+            )
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.capacity_lines = size_bytes // line_size
+        num_sets = self.capacity_lines // associativity
+        self.amap = AddressMap(line_size=line_size, num_sets=num_sets)
+        self.policy = policy if policy is not None else LruPolicy()
+        self._sets: List[List[LineState]] = [[] for _ in range(num_sets)]
+
+    # -- helpers ---------------------------------------------------------
+
+    def _set_for(self, line_addr: int) -> List[LineState]:
+        return self._sets[self.amap.set_of_line(line_addr)]
+
+    def _find(self, cache_set: List[LineState], line_addr: int) -> int:
+        for i, line in enumerate(cache_set):
+            if line.line_addr == line_addr:
+                return i
+        return -1
+
+    def _evictable_indices(self, cache_set: List[LineState],
+                           ctx: AccessContext) -> List[int]:
+        """Indices the requester may evict.
+
+        Locked lines (PLcache) are immune to normal replacement — that
+        is what makes preload+lock a constant-time defence; only the
+        owner's own *locking* accesses may displace them.
+        """
+        return [i for i, line in enumerate(cache_set)
+                if not line.locked
+                or (ctx.lock and line.owner == ctx.thread_id)]
+
+    # -- TagStore interface ----------------------------------------------
+
+    def probe(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> bool:
+        return self._find(self._set_for(line_addr), line_addr) >= 0
+
+    def access(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> bool:
+        cache_set = self._set_for(line_addr)
+        index = self._find(cache_set, line_addr)
+        if index < 0:
+            return False
+        line = cache_set[index]
+        if ctx.lock:
+            line.locked = True
+            line.owner = ctx.thread_id
+        elif ctx.unlock and line.owner == ctx.thread_id:
+            line.locked = False
+        self.policy.on_hit(cache_set, index)
+        return True
+
+    def fill(self, line_addr: int,
+             ctx: AccessContext = DEFAULT_CONTEXT) -> Optional[int]:
+        cache_set = self._set_for(line_addr)
+        if self._find(cache_set, line_addr) >= 0:
+            return None
+        evicted: Optional[int] = None
+        if len(cache_set) >= self.associativity:
+            victim = self.policy.choose_victim(
+                cache_set, self._evictable_indices(cache_set, ctx))
+            if victim is None:
+                return None  # every way locked by others: fill refused
+            evicted = cache_set.pop(victim).line_addr
+        new_line = LineState(line_addr, owner=ctx.thread_id, domain=ctx.domain,
+                             locked=ctx.lock)
+        self.policy.on_fill(cache_set, new_line)
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        cache_set = self._set_for(line_addr)
+        index = self._find(cache_set, line_addr)
+        if index < 0:
+            return False
+        cache_set.pop(index)
+        return True
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def resident_lines(self) -> Iterator[int]:
+        for cache_set in self._sets:
+            for line in cache_set:
+                yield line.line_addr
+
+    def line_state(self, line_addr: int) -> Optional[LineState]:
+        """Expose per-line metadata (used by PLcache tests and preload)."""
+        cache_set = self._set_for(line_addr)
+        index = self._find(cache_set, line_addr)
+        return cache_set[index] if index >= 0 else None
+
+    def set_contents(self, set_index: int) -> List[int]:
+        """Line addresses in one set, MRU-first (attack code inspects this)."""
+        return [line.line_addr for line in self._sets[set_index]]

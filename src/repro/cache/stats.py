@@ -1,0 +1,45 @@
+"""Counters shared by every cache level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Event counters for one cache level.
+
+    ``demand_misses`` follows the paper's MPKI definition: misses that
+    cause a fetch request to the next level, *excluding* outstanding
+    misses to the same cache line (those are counted in ``mshr_merges``).
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    demand_misses: int = 0
+    mshr_merges: int = 0
+    fills: int = 0
+    evictions: int = 0
+    random_fill_issued: int = 0
+    random_fill_dropped: int = 0
+    next_level_requests: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction, per the paper's definition."""
+        if instructions <= 0:
+            raise ValueError(f"instructions must be positive, got {instructions}")
+        return 1000.0 * self.demand_misses / instructions
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)

@@ -1,0 +1,31 @@
+"""The paper's contribution: the random fill cache architecture.
+
+The random cache fill strategy is packaged as a fill *policy*
+(:class:`RandomFillPolicy`) that composes with any tag store via
+:class:`repro.cache.L1Controller`, plus the engine, window arithmetic
+and OS interface around it.  :func:`build_random_fill_hierarchy` is the
+one-call constructor most users want.
+"""
+
+from repro.core.engine import RandomFillEngine
+from repro.core.policy import RandomFillPolicy
+from repro.core.syscalls import ProcessControlBlock, RandomFillOS
+from repro.core.window import (
+    REGISTER_WIDTH,
+    RandomFillWindow,
+    decode_range_registers,
+    encode_range_registers,
+)
+from repro.core.factory import build_random_fill_hierarchy
+
+__all__ = [
+    "ProcessControlBlock",
+    "REGISTER_WIDTH",
+    "RandomFillEngine",
+    "RandomFillOS",
+    "RandomFillPolicy",
+    "RandomFillWindow",
+    "build_random_fill_hierarchy",
+    "decode_range_registers",
+    "encode_range_registers",
+]

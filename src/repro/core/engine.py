@@ -1,0 +1,60 @@
+"""The random fill engine of Figure 3(b)/Figure 4.
+
+On every demand miss to line ``i`` the engine produces one random fill
+request with address ``i + offset`` where ``offset`` is uniform over the
+configured window ``[-a, b]``.  For power-of-two windows the offset is
+computed exactly as the Figure 4 datapath does: mask the free-running RNG
+output with ``2**n - 1``, add the (sign-extended) lower bound from RR1,
+then add the demand miss line address — one adder on the critical path.
+
+The engine holds one pair of range registers per hardware thread: the
+registers are "part of the context of the processor" (Section IV-B.3),
+and an SMT core has a per-thread architectural context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.window import RandomFillWindow, encode_range_registers
+from repro.util.rng import HardwareRng
+
+
+class RandomFillEngine:
+    """Per-thread window registers + bounded random address generation."""
+
+    def __init__(self, rng: HardwareRng):
+        self._rng = rng
+        self._windows: Dict[int, RandomFillWindow] = {}
+
+    # -- register file -----------------------------------------------------
+
+    def window_for(self, thread_id: int) -> RandomFillWindow:
+        """Current window of a hardware thread (default: disabled)."""
+        return self._windows.get(thread_id, RandomFillWindow.disabled_window())
+
+    def set_window(self, thread_id: int, window: RandomFillWindow) -> None:
+        self._windows[thread_id] = window
+
+    def range_registers(self, thread_id: int) -> "tuple[int, int]":
+        """The raw (RR1, RR2) encoding, for context save (PCB)."""
+        return encode_range_registers(self.window_for(thread_id))
+
+    # -- address generation --------------------------------------------------
+
+    def random_offset(self, thread_id: int) -> int:
+        """Draw a bounded random offset in ``[-a, b]``.
+
+        Power-of-two windows use the Figure 4 mask-and-add path; other
+        windows (the plain ``set_RR`` configuration) fall back to an
+        exact uniform draw, modelling a modulo-reduction unit.
+        """
+        window = self.window_for(thread_id)
+        if window.is_power_of_two:
+            masked = self._rng.draw_masked(window.size - 1)
+            return masked - window.a
+        return self._rng.draw_below(window.size) - window.a
+
+    def generate(self, demand_line: int, thread_id: int) -> int:
+        """Random fill line address for a demand miss to ``demand_line``."""
+        return demand_line + self.random_offset(thread_id)

@@ -1,0 +1,64 @@
+"""One-call constructors for random fill cache hierarchies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.hierarchy import Hierarchy, build_hierarchy
+from repro.cache.tagstore import TagStore
+from repro.core.engine import RandomFillEngine
+from repro.core.policy import RandomFillPolicy
+from repro.core.syscalls import RandomFillOS
+from repro.memory.dram import DramConfig
+from repro.util.rng import HardwareRng
+
+
+@dataclass
+class RandomFillHierarchy:
+    """A full hierarchy plus the random-fill control plane."""
+
+    hierarchy: Hierarchy
+    engine: RandomFillEngine
+    os: RandomFillOS
+
+    @property
+    def l1(self):
+        return self.hierarchy.l1
+
+    @property
+    def l2(self):
+        return self.hierarchy.l2
+
+    @property
+    def dram(self):
+        return self.hierarchy.dram
+
+
+def build_random_fill_hierarchy(
+        seed: int = 0,
+        l1_tag_store: Optional[TagStore] = None,
+        l1_size: int = 32 * 1024,
+        l1_assoc: int = 4,
+        line_size: int = 64,
+        l2_size: int = 2 * 1024 * 1024,
+        l2_assoc: int = 8,
+        l2_hit_latency: int = 20,
+        mshr_entries: int = 4,
+        dram_config: DramConfig = DramConfig()) -> RandomFillHierarchy:
+    """Build the Table IV hierarchy with a random fill L1.
+
+    The returned object exposes the OS layer so callers use the paper's
+    own interface (``os.set_window(-16, 5)``) to configure the window.
+    By default the registers are zero, i.e. pure demand-fetch behaviour.
+    """
+    rng = HardwareRng(seed)
+    engine = RandomFillEngine(rng)
+    policy = RandomFillPolicy(engine)
+    hierarchy = build_hierarchy(
+        l1_tag_store=l1_tag_store, policy=policy,
+        l1_size=l1_size, l1_assoc=l1_assoc, line_size=line_size,
+        l2_size=l2_size, l2_assoc=l2_assoc, l2_hit_latency=l2_hit_latency,
+        mshr_entries=mshr_entries, dram_config=dram_config)
+    return RandomFillHierarchy(hierarchy=hierarchy, engine=engine,
+                               os=RandomFillOS(engine))

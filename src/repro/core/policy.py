@@ -1,0 +1,32 @@
+"""The random cache fill strategy as an L1 fill policy.
+
+This is where the paper's key mechanism lives: on a demand miss the
+missing line is forwarded to the processor *without* filling the cache
+(a ``NOFILL`` request, leveraging critical-word-first forwarding), and
+one ``RANDOM_FILL`` request for a uniformly random line within the
+window is pushed to the fill queue.  With the window registers at zero
+the policy degrades exactly to demand fetch (``NORMAL`` requests) —
+"the random fill cache works just like the conventional demand-fetch
+cache" (Section IV-B.3).
+"""
+
+from __future__ import annotations
+
+from repro.cache.context import AccessContext
+from repro.cache.controller import FillPolicy, MissPlan
+from repro.cache.mshr import RequestType
+from repro.core.engine import RandomFillEngine
+
+
+class RandomFillPolicy(FillPolicy):
+    """Fill policy consulting a :class:`RandomFillEngine` per miss."""
+
+    def __init__(self, engine: RandomFillEngine):
+        self.engine = engine
+
+    def on_miss(self, line_addr: int, ctx: AccessContext) -> MissPlan:
+        window = self.engine.window_for(ctx.thread_id)
+        if window.disabled:
+            return MissPlan(RequestType.NORMAL)
+        fill_line = self.engine.generate(line_addr, ctx.thread_id)
+        return MissPlan(RequestType.NOFILL, (fill_line,))

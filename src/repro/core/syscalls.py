@@ -1,0 +1,97 @@
+"""System interface: the Table II system calls and PCB context switching.
+
+Table II offers two alternative calls (only one is needed in a real OS;
+we provide both):
+
+* ``set_rr(a, b)`` — arbitrary window bounds,
+* ``set_window(lower_bound, n)`` — power-of-two window size ``2**n``.
+
+Section IV-B.3 additionally requires that "the range registers are part
+of the context of the processor and need to be saved to, and restored
+from, the process control block (PCB) for a context switch" — that is
+exactly what :meth:`RandomFillOS.context_switch` models, and what keeps
+one process's window from leaking into (or being set by) another: "the
+attacker cannot set the victim's window size" (Section VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.engine import RandomFillEngine
+from repro.core.window import RandomFillWindow
+
+
+@dataclass
+class ProcessControlBlock:
+    """Saved per-process architectural state (just the range registers)."""
+
+    pid: int
+    window: RandomFillWindow = field(default_factory=RandomFillWindow.disabled_window)
+
+
+class RandomFillOS:
+    """Minimal OS layer owning PCBs and the engine's register file."""
+
+    def __init__(self, engine: RandomFillEngine):
+        self.engine = engine
+        self._pcbs: Dict[int, ProcessControlBlock] = {}
+        self._running: Dict[int, int] = {}  # thread_id -> pid
+
+    # -- process management ----------------------------------------------
+
+    def create_process(self, pid: int) -> ProcessControlBlock:
+        if pid in self._pcbs:
+            raise ValueError(f"pid {pid} already exists")
+        pcb = ProcessControlBlock(pid)
+        self._pcbs[pid] = pcb
+        return pcb
+
+    def pcb(self, pid: int) -> ProcessControlBlock:
+        try:
+            return self._pcbs[pid]
+        except KeyError:
+            raise KeyError(f"unknown pid {pid}") from None
+
+    def running_pid(self, thread_id: int) -> int:
+        try:
+            return self._running[thread_id]
+        except KeyError:
+            raise KeyError(f"no process running on thread {thread_id}") from None
+
+    def schedule(self, pid: int, thread_id: int = 0) -> None:
+        """Put ``pid`` on a hardware thread, restoring its registers."""
+        self._running[thread_id] = pid
+        self.engine.set_window(thread_id, self.pcb(pid).window)
+
+    def context_switch(self, out_pid: int, in_pid: int,
+                       thread_id: int = 0) -> None:
+        """Save the outgoing process's range registers, restore incoming."""
+        if self._running.get(thread_id) != out_pid:
+            raise ValueError(
+                f"pid {out_pid} is not running on thread {thread_id}"
+            )
+        self.pcb(out_pid).window = self.engine.window_for(thread_id)
+        self.schedule(in_pid, thread_id)
+
+    # -- Table II system calls -----------------------------------------------
+
+    def set_rr(self, a: int, b: int, thread_id: int = 0) -> None:
+        """``set_RR(int a, int b)``: arbitrary window bounds."""
+        self._apply(RandomFillWindow(a, b), thread_id)
+
+    def set_window(self, lower_bound: int, n: int, thread_id: int = 0) -> None:
+        """``set_window(int lowerBound, int n)``: window size ``2**n``."""
+        self._apply(RandomFillWindow.from_pow2(lower_bound, n), thread_id)
+
+    def disable(self, thread_id: int = 0) -> None:
+        """Reset the registers to zero (demand-fetch behaviour)."""
+        self._apply(RandomFillWindow.disabled_window(), thread_id)
+
+    def _apply(self, window: RandomFillWindow, thread_id: int) -> None:
+        self.engine.set_window(thread_id, window)
+        pid = self._running.get(thread_id)
+        if pid is not None:
+            # Keep the PCB coherent so a later context switch round-trips.
+            self._pcbs[pid].window = window

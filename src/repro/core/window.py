@@ -1,0 +1,146 @@
+"""Random fill window: the neighborhood ``[i - a, i + b]`` of Section IV.
+
+A window is described by its two non-negative bounds ``a`` (lines before
+the demand miss) and ``b`` (lines after).  The paper exposes two
+configuration flavours (Table II):
+
+* ``set_RR(a, b)`` — arbitrary bounds held directly in range registers
+  RR1/RR2;
+* ``set_window(lowerBound, n)`` — the Figure 4 optimization, where the
+  window size is constrained to ``2**n`` so the bounded random number is
+  a mask-and-add instead of a general modulo.
+
+``RandomFillWindow`` is an immutable value object; the hardware-register
+encoding (8-bit two's complement lower bound + mask) lives in
+:func:`encode_range_registers` / :func:`decode_range_registers` so the
+Figure 4 datapath can be modelled and tested bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Width of the range registers and the RNG in Figure 4.
+REGISTER_WIDTH = 8
+
+
+@dataclass(frozen=True)
+class RandomFillWindow:
+    """Neighborhood window ``[i - a, i + b]`` around a demand miss ``i``."""
+
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.a < 0 or self.b < 0:
+            raise ValueError(f"window bounds must be non-negative: a={self.a}, b={self.b}")
+        limit = 1 << (REGISTER_WIDTH - 1)
+        if self.a > limit or self.b >= limit:
+            raise ValueError(
+                f"window [{-self.a}, {self.b}] exceeds {REGISTER_WIDTH}-bit "
+                f"range registers"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of candidate lines, ``W = a + b + 1``."""
+        return self.a + self.b + 1
+
+    @property
+    def disabled(self) -> bool:
+        """Zero registers disable random fill (demand fetch behaviour)."""
+        return self.a == 0 and self.b == 0
+
+    @property
+    def is_power_of_two(self) -> bool:
+        return self.size & (self.size - 1) == 0
+
+    def contains_offset(self, offset: int) -> bool:
+        """True if ``i + offset`` is inside the window of ``i``."""
+        return -self.a <= offset <= self.b
+
+    def covers_table(self, table_lines: int) -> bool:
+        """Security condition of Section V-A: ``a, b >= M - 1``.
+
+        When true, any pair of accesses within an ``M``-line table has
+        ``P1 - P2 = 0`` — the timing channel is completely closed.
+        """
+        return self.a >= table_lines - 1 and self.b >= table_lines - 1
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def disabled_window(cls) -> "RandomFillWindow":
+        return cls(0, 0)
+
+    @classmethod
+    def from_pow2(cls, lower_bound: int, n: int) -> "RandomFillWindow":
+        """The ``set_window(lowerBound, n)`` form: size ``2**n``.
+
+        ``lower_bound`` is ``-a`` (non-positive); ``b`` follows from
+        ``a + b + 1 = 2**n``.
+        """
+        if lower_bound > 0:
+            raise ValueError(f"lower bound must be <= 0, got {lower_bound}")
+        if n < 0:
+            raise ValueError(f"window exponent must be >= 0, got {n}")
+        a = -lower_bound
+        b = (1 << n) - 1 - a
+        if b < 0:
+            raise ValueError(
+                f"window size 2**{n} too small for lower bound {lower_bound}"
+            )
+        return cls(a, b)
+
+    @classmethod
+    def forward(cls, size: int) -> "RandomFillWindow":
+        """Forward-only window ``[i, i + size - 1]`` (Figure 10's [0, b])."""
+        if size < 1:
+            raise ValueError(f"window size must be >= 1, got {size}")
+        return cls(0, size - 1)
+
+    @classmethod
+    def bidirectional(cls, size: int) -> "RandomFillWindow":
+        """Bidirectional window ``[i - size/2, i + size/2 - 1]``.
+
+        This is the form the security evaluation uses ("the randomized
+        table lookups ... do not favor the forward direction over the
+        backward direction, so a bidirectional random fill window has the
+        best security", Section V-A).  ``size`` must be a power of two
+        >= 2; size 1 degrades to the disabled/demand-fetch window.
+        """
+        if size == 1:
+            return cls(0, 0)
+        if size < 2 or size & (size - 1):
+            raise ValueError(f"bidirectional window size must be a power of two, got {size}")
+        half = size // 2
+        return cls(half, half - 1)
+
+
+def encode_range_registers(window: RandomFillWindow) -> "tuple[int, int]":
+    """Encode a window into (RR1, RR2) as in Figure 4.
+
+    RR1 holds the lower bound ``-a`` in two's complement; RR2 holds the
+    window-size mask ``2**n - 1`` for power-of-two windows, or ``b``
+    directly otherwise (the unoptimized ``set_RR`` encoding).
+    """
+    mask = (1 << REGISTER_WIDTH) - 1
+    rr1 = (-window.a) & mask
+    rr2 = (window.size - 1) if window.is_power_of_two else window.b
+    return rr1, rr2 & mask
+
+
+def decode_range_registers(rr1: int, rr2: int,
+                           pow2: bool = True) -> RandomFillWindow:
+    """Inverse of :func:`encode_range_registers`."""
+    mask = (1 << REGISTER_WIDTH) - 1
+    rr1 &= mask
+    # Sign-extend the two's-complement lower bound.
+    a = (1 << REGISTER_WIDTH) - rr1 if rr1 > (mask >> 1) else -rr1
+    if a < 0:
+        raise ValueError("RR1 encodes a positive lower bound")
+    if pow2:
+        size = (rr2 & mask) + 1
+        return RandomFillWindow(a, size - 1 - a)
+    return RandomFillWindow(a, rr2 & mask)

@@ -1,0 +1,17 @@
+"""Trace-driven CPU model: trace format, single-thread timing, SMT."""
+
+from repro.cpu.smt import SmtThread, run_smt
+from repro.cpu.timing import SimResult, TimingModel
+from repro.cpu.trace import MemRef, TraceRecord, instruction_count, materialize, validate_trace
+
+__all__ = [
+    "MemRef",
+    "SimResult",
+    "SmtThread",
+    "TimingModel",
+    "TraceRecord",
+    "instruction_count",
+    "materialize",
+    "run_smt",
+    "validate_trace",
+]

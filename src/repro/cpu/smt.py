@@ -1,0 +1,141 @@
+"""Two-thread SMT co-execution model (the Figure 8 experiment).
+
+Two hardware threads share the L1 data cache and everything below it.
+Each thread runs its own trace with its own architectural context
+(thread id, random fill window registers).  The scheduler is
+fine-grained: at every step the thread with the smallest local clock
+issues its next memory reference, which interleaves the two access
+streams the way simultaneous multithreading does.
+
+The *primary* thread (the SPEC program in Figure 8) runs its trace to
+completion; *background* threads (the AES stress loop) restart their
+trace whenever it runs out, modelling "the cryptographic program
+continuously does both AES decryption and encryption".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.context import AccessContext
+from repro.cache.controller import L1Controller
+from repro.cpu.timing import SimResult, _MlpWindow
+from repro.cpu.trace import TraceRecord
+
+
+@dataclass
+class SmtThread:
+    """One hardware thread's workload for an SMT run."""
+
+    trace: Sequence[TraceRecord]
+    ctx: AccessContext
+    repeat: bool = False  # restart the trace when exhausted
+
+    def __post_init__(self) -> None:
+        if not self.trace:
+            raise ValueError("SMT thread trace must be non-empty")
+
+
+class _ThreadState:
+    __slots__ = ("thread", "write_ctx", "cursor", "now", "backlog",
+                 "instructions", "done", "window", "charged")
+
+    def __init__(self, thread: SmtThread, mlp: int, credit: int):
+        self.thread = thread
+        ctx = thread.ctx
+        self.write_ctx = AccessContext(
+            thread_id=ctx.thread_id, domain=ctx.domain,
+            critical=ctx.critical, is_write=True)
+        self.cursor = 0
+        self.now = 0
+        self.backlog = 0
+        self.instructions = 0
+        self.done = False
+        self.window = _MlpWindow(mlp, credit)
+        self.charged: dict = {}
+
+
+def run_smt(l1: L1Controller, threads: Sequence[SmtThread],
+            issue_width: int = 4, overlap_credit: int = 8) -> List[SimResult]:
+    """Co-run threads until every non-repeating trace completes.
+
+    Returns one :class:`SimResult` per thread; cache counters are whole-
+    run totals attributed to the L1/L2 (shared), so per-thread results
+    carry instructions/cycles (hence IPC) while the first result carries
+    the shared cache statistics.
+    """
+    if not threads:
+        raise ValueError("run_smt needs at least one thread")
+    if not any(not t.repeat for t in threads):
+        raise ValueError("at least one thread must have a finite trace")
+    l2 = l1.next_level
+    l1_acc0, l1_hit0 = l1.stats.accesses, l1.stats.hits
+    l1_miss0 = l1.stats.demand_misses
+    l2_acc0, l2_miss0 = l2.stats.accesses, l2.stats.demand_misses
+    mem0 = l2.dram.lines_transferred
+    rf0 = l1.stats.random_fill_issued
+
+    # Each SMT thread gets half the core's MSHR-level parallelism.
+    mlp = max(1, l1.miss_queue.capacity // 2)
+    states = [_ThreadState(t, mlp, overlap_credit) for t in threads]
+    active = [s for s in states if not s.thread.repeat]
+    hit_cost = l1.hit_latency
+
+    while any(not s.done for s in active):
+        state = min((s for s in states if not s.done), key=lambda s: s.now)
+        trace = state.thread.trace
+        if state.cursor >= len(trace):
+            if state.thread.repeat:
+                state.cursor = 0
+            else:
+                state.done = True
+                continue
+        addr, gap, write = trace[state.cursor]
+        state.cursor += 1
+        state.instructions += gap
+        state.backlog += gap
+        state.now += state.backlog // issue_width
+        state.backlog %= issue_width
+        ctx = state.write_ctx if write else state.thread.ctx
+        result = l1.access(addr, state.now, ctx)
+        if result.l1_hit:
+            state.now += hit_cost
+        elif result.merged:
+            completion = result.ready_at - hit_cost
+            state.now += hit_cost
+            if state.charged.get(result.line_addr) != completion:
+                state.charged[result.line_addr] = completion
+                state.now = state.window.note_miss(state.now, completion)
+        else:
+            state.charged[result.line_addr] = result.ready_at
+            state.now += hit_cost + result.stalled_for_mshr
+            state.now = state.window.note_miss(state.now, result.ready_at)
+    for state in states:
+        state.now = state.window.settle(state.now)
+    l1.settle()
+
+    shared = SimResult(
+        instructions=0, cycles=0,
+        l1_accesses=l1.stats.accesses - l1_acc0,
+        l1_hits=l1.stats.hits - l1_hit0,
+        l1_demand_misses=l1.stats.demand_misses - l1_miss0,
+        l2_accesses=l2.stats.accesses - l2_acc0,
+        l2_demand_misses=l2.stats.demand_misses - l2_miss0,
+        memory_lines=l2.dram.lines_transferred - mem0,
+        random_fill_issued=l1.stats.random_fill_issued - rf0,
+    )
+    results = []
+    for i, state in enumerate(states):
+        results.append(SimResult(
+            instructions=state.instructions,
+            cycles=state.now,
+            l1_accesses=shared.l1_accesses if i == 0 else 0,
+            l1_hits=shared.l1_hits if i == 0 else 0,
+            l1_demand_misses=shared.l1_demand_misses if i == 0 else 0,
+            l2_accesses=shared.l2_accesses if i == 0 else 0,
+            l2_demand_misses=shared.l2_demand_misses if i == 0 else 0,
+            memory_lines=shared.memory_lines if i == 0 else 0,
+            random_fill_issued=shared.random_fill_issued if i == 0 else 0,
+        ))
+    return results

@@ -1,0 +1,54 @@
+"""Memory reference trace format.
+
+The timing model consumes *trace records*.  For speed in multi-million
+reference runs a record is a plain tuple::
+
+    (byte_addr, gap, write)
+
+* ``byte_addr`` — the referenced byte address,
+* ``gap``       — instructions executed since the previous record,
+                  *including* this memory instruction (>= 1),
+* ``write``     — 1 for a store, 0 for a load.
+
+``MemRef`` is a readable constructor/inspector for the same shape; it IS
+a tuple (``typing.NamedTuple``), so traces may mix both freely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, NamedTuple, Tuple
+
+TraceRecord = Tuple[int, int, int]
+
+
+class MemRef(NamedTuple):
+    """Readable trace record; interchangeable with the raw tuple form."""
+
+    addr: int
+    gap: int = 1
+    write: int = 0
+
+
+def validate_trace(trace: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+    """Yield records, raising on malformed ones (used in tests/debug)."""
+    for i, record in enumerate(trace):
+        if len(record) != 3:
+            raise ValueError(f"record {i} has {len(record)} fields, want 3")
+        addr, gap, write = record
+        if addr < 0:
+            raise ValueError(f"record {i}: negative address {addr}")
+        if gap < 1:
+            raise ValueError(f"record {i}: gap must be >= 1, got {gap}")
+        if write not in (0, 1):
+            raise ValueError(f"record {i}: write flag must be 0/1, got {write}")
+        yield record
+
+
+def instruction_count(trace: Iterable[TraceRecord]) -> int:
+    """Total instructions represented by a trace (sum of gaps)."""
+    return sum(gap for _, gap, _ in trace)
+
+
+def materialize(trace: Iterable[TraceRecord]) -> List[TraceRecord]:
+    """Force a generator trace into a list (for reuse across schemes)."""
+    return list(trace)

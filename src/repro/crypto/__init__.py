@@ -1,0 +1,24 @@
+"""AES-128 substrate: functional cipher + traced victim implementation."""
+
+from repro.crypto.aes import AES128, expand_decrypt_key, expand_key
+from repro.crypto.aes_tables import (
+    INV_SBOX,
+    SBOX,
+    TABLE_BYTES,
+    TD0, TD1, TD2, TD3, TD4,
+    TE0, TE1, TE2, TE3, TE4,
+)
+from repro.crypto.traced_aes import AesMemoryLayout, TracedAES128
+
+__all__ = [
+    "AES128",
+    "AesMemoryLayout",
+    "INV_SBOX",
+    "SBOX",
+    "TABLE_BYTES",
+    "TD0", "TD1", "TD2", "TD3", "TD4",
+    "TE0", "TE1", "TE2", "TE3", "TE4",
+    "TracedAES128",
+    "expand_decrypt_key",
+    "expand_key",
+]

@@ -1,0 +1,170 @@
+"""AES-128 block cipher, T-table implementation (FIPS-197 correct).
+
+This is the OpenSSL-style software AES whose table-lookup address stream
+the cache collision attack exploits: rounds 1..9 index Te0..Te3, the
+final round indexes Te4 (the paper's "T4"), so that
+``Te4[x_u] & 0xff == S[x_u]`` and ``S[x_u] ^ k10_i == c_i`` — the
+final-round relation of Section II-C.
+
+The plain :class:`AES128` is the functional cipher; the traced variant
+in :mod:`repro.crypto.traced_aes` reuses its key schedule and emits the
+memory reference stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.aes_tables import (
+    INV_SBOX,
+    SBOX,
+    TD0,
+    TD1,
+    TD2,
+    TD3,
+    TE0,
+    TE1,
+    TE2,
+    TE3,
+    TE4,
+    inv_mix_columns_word,
+)
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+_MASK32 = 0xFFFFFFFF
+
+
+def _words_from_bytes(data: bytes) -> List[int]:
+    return [int.from_bytes(data[i:i + 4], "big") for i in range(0, len(data), 4)]
+
+
+def _bytes_from_words(words: Sequence[int]) -> bytes:
+    return b"".join(w.to_bytes(4, "big") for w in words)
+
+
+def expand_key(key: bytes) -> List[int]:
+    """AES-128 key expansion: 44 round-key words (FIPS-197 section 5.2)."""
+    if len(key) != 16:
+        raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    rk = _words_from_bytes(key)
+    for i in range(4, 44):
+        temp = rk[i - 1]
+        if i % 4 == 0:
+            temp = ((temp << 8) | (temp >> 24)) & _MASK32  # RotWord
+            temp = ((SBOX[(temp >> 24) & 0xFF] << 24) |
+                    (SBOX[(temp >> 16) & 0xFF] << 16) |
+                    (SBOX[(temp >> 8) & 0xFF] << 8) |
+                    SBOX[temp & 0xFF])                      # SubWord
+            temp ^= _RCON[i // 4 - 1] << 24
+        rk.append(rk[i - 4] ^ temp)
+    return rk
+
+
+def expand_decrypt_key(key: bytes) -> List[int]:
+    """Round keys for the equivalent inverse cipher (Td-table decryption)."""
+    rk = expand_key(key)
+    drk: List[int] = []
+    for round_index in range(11):
+        source = rk[4 * (10 - round_index): 4 * (10 - round_index) + 4]
+        if round_index in (0, 10):
+            drk.extend(source)
+        else:
+            drk.extend(inv_mix_columns_word(w) for w in source)
+    return drk
+
+
+class AES128:
+    """AES-128 in ECB (block) and CBC modes."""
+
+    block_size = 16
+
+    def __init__(self, key: bytes):
+        self.round_keys = expand_key(key)
+        self.decrypt_round_keys = expand_decrypt_key(key)
+
+    # -- block primitives ---------------------------------------------------
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != 16:
+            raise ValueError(f"block must be 16 bytes, got {len(plaintext)}")
+        rk = self.round_keys
+        s0, s1, s2, s3 = (w ^ k for w, k in
+                          zip(_words_from_bytes(plaintext), rk[:4]))
+        for rnd in range(1, 10):
+            base = 4 * rnd
+            t0 = (TE0[s0 >> 24] ^ TE1[(s1 >> 16) & 0xFF] ^
+                  TE2[(s2 >> 8) & 0xFF] ^ TE3[s3 & 0xFF] ^ rk[base])
+            t1 = (TE0[s1 >> 24] ^ TE1[(s2 >> 16) & 0xFF] ^
+                  TE2[(s3 >> 8) & 0xFF] ^ TE3[s0 & 0xFF] ^ rk[base + 1])
+            t2 = (TE0[s2 >> 24] ^ TE1[(s3 >> 16) & 0xFF] ^
+                  TE2[(s0 >> 8) & 0xFF] ^ TE3[s1 & 0xFF] ^ rk[base + 2])
+            t3 = (TE0[s3 >> 24] ^ TE1[(s0 >> 16) & 0xFF] ^
+                  TE2[(s1 >> 8) & 0xFF] ^ TE3[s2 & 0xFF] ^ rk[base + 3])
+            s0, s1, s2, s3 = t0, t1, t2, t3
+        c0 = ((TE4[s0 >> 24] & 0xFF000000) ^ (TE4[(s1 >> 16) & 0xFF] & 0x00FF0000) ^
+              (TE4[(s2 >> 8) & 0xFF] & 0x0000FF00) ^ (TE4[s3 & 0xFF] & 0xFF) ^ rk[40])
+        c1 = ((TE4[s1 >> 24] & 0xFF000000) ^ (TE4[(s2 >> 16) & 0xFF] & 0x00FF0000) ^
+              (TE4[(s3 >> 8) & 0xFF] & 0x0000FF00) ^ (TE4[s0 & 0xFF] & 0xFF) ^ rk[41])
+        c2 = ((TE4[s2 >> 24] & 0xFF000000) ^ (TE4[(s3 >> 16) & 0xFF] & 0x00FF0000) ^
+              (TE4[(s0 >> 8) & 0xFF] & 0x0000FF00) ^ (TE4[s1 & 0xFF] & 0xFF) ^ rk[42])
+        c3 = ((TE4[s3 >> 24] & 0xFF000000) ^ (TE4[(s0 >> 16) & 0xFF] & 0x00FF0000) ^
+              (TE4[(s1 >> 8) & 0xFF] & 0x0000FF00) ^ (TE4[s2 & 0xFF] & 0xFF) ^ rk[43])
+        return _bytes_from_words((c0, c1, c2, c3))
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != 16:
+            raise ValueError(f"block must be 16 bytes, got {len(ciphertext)}")
+        rk = self.decrypt_round_keys
+        s0, s1, s2, s3 = (w ^ k for w, k in
+                          zip(_words_from_bytes(ciphertext), rk[:4]))
+        for rnd in range(1, 10):
+            base = 4 * rnd
+            t0 = (TD0[s0 >> 24] ^ TD1[(s3 >> 16) & 0xFF] ^
+                  TD2[(s2 >> 8) & 0xFF] ^ TD3[s1 & 0xFF] ^ rk[base])
+            t1 = (TD0[s1 >> 24] ^ TD1[(s0 >> 16) & 0xFF] ^
+                  TD2[(s3 >> 8) & 0xFF] ^ TD3[s2 & 0xFF] ^ rk[base + 1])
+            t2 = (TD0[s2 >> 24] ^ TD1[(s1 >> 16) & 0xFF] ^
+                  TD2[(s0 >> 8) & 0xFF] ^ TD3[s3 & 0xFF] ^ rk[base + 2])
+            t3 = (TD0[s3 >> 24] ^ TD1[(s2 >> 16) & 0xFF] ^
+                  TD2[(s1 >> 8) & 0xFF] ^ TD3[s0 & 0xFF] ^ rk[base + 3])
+            s0, s1, s2, s3 = t0, t1, t2, t3
+        out = []
+        for w0, w1, w2, w3, k in ((s0, s3, s2, s1, rk[40]),
+                                  (s1, s0, s3, s2, rk[41]),
+                                  (s2, s1, s0, s3, rk[42]),
+                                  (s3, s2, s1, s0, rk[43])):
+            word = ((INV_SBOX[w0 >> 24] << 24) |
+                    (INV_SBOX[(w1 >> 16) & 0xFF] << 16) |
+                    (INV_SBOX[(w2 >> 8) & 0xFF] << 8) |
+                    INV_SBOX[w3 & 0xFF]) ^ k
+            out.append(word)
+        return _bytes_from_words(out)
+
+    # -- CBC mode ---------------------------------------------------------
+
+    def encrypt_cbc(self, plaintext: bytes, iv: bytes) -> bytes:
+        if len(plaintext) % 16:
+            raise ValueError("CBC plaintext must be a multiple of 16 bytes")
+        if len(iv) != 16:
+            raise ValueError(f"IV must be 16 bytes, got {len(iv)}")
+        out = bytearray()
+        prev = iv
+        for i in range(0, len(plaintext), 16):
+            block = bytes(a ^ b for a, b in zip(plaintext[i:i + 16], prev))
+            prev = self.encrypt_block(block)
+            out.extend(prev)
+        return bytes(out)
+
+    def decrypt_cbc(self, ciphertext: bytes, iv: bytes) -> bytes:
+        if len(ciphertext) % 16:
+            raise ValueError("CBC ciphertext must be a multiple of 16 bytes")
+        if len(iv) != 16:
+            raise ValueError(f"IV must be 16 bytes, got {len(iv)}")
+        out = bytearray()
+        prev = iv
+        for i in range(0, len(ciphertext), 16):
+            block = ciphertext[i:i + 16]
+            plain = self.decrypt_block(block)
+            out.extend(a ^ b for a, b in zip(plain, prev))
+            prev = block
+        return bytes(out)

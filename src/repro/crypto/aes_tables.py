@@ -1,0 +1,117 @@
+"""AES lookup tables, computed from first principles.
+
+OpenSSL-style T-table AES uses ten 1-KB tables (Section II-C): Te0..Te3
+for encryption rounds 1..9, Te4 for the final round; Td0..Td3 and Td4
+for decryption.  Each table has 256 four-byte entries.  We derive them
+from the S-box (itself computed from GF(2^8) inversion + the affine map,
+not hard-coded) so the construction is testable against FIPS-197.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); 0 maps to 0."""
+    if a == 0:
+        return 0
+    # Brute-force is fine: runs once at import for 256 values.
+    for candidate in range(1, 256):
+        if _gf_mul(a, candidate) == 1:
+            return candidate
+    raise ArithmeticError(f"no inverse for {a:#x}")  # pragma: no cover
+
+
+def _affine(x: int) -> int:
+    """The S-box affine transformation over GF(2)."""
+    result = 0
+    for bit in range(8):
+        b = ((x >> bit) ^ (x >> ((bit + 4) % 8)) ^ (x >> ((bit + 5) % 8)) ^
+             (x >> ((bit + 6) % 8)) ^ (x >> ((bit + 7) % 8)) ^ (0x63 >> bit)) & 1
+        result |= b << bit
+    return result
+
+
+def _build_sboxes() -> Tuple[List[int], List[int]]:
+    sbox = [_affine(_gf_inverse(x)) for x in range(256)]
+    inv = [0] * 256
+    for x, s in enumerate(sbox):
+        inv[s] = x
+    return sbox, inv
+
+
+SBOX, INV_SBOX = _build_sboxes()
+
+
+def _build_encrypt_tables() -> Tuple[List[int], ...]:
+    """Te0..Te3 (MixColumns folded in) and Te4 (S-box replicated)."""
+    te0, te1, te2, te3, te4 = [], [], [], [], []
+    for x in range(256):
+        s = SBOX[x]
+        s2 = _gf_mul(s, 2)
+        s3 = _gf_mul(s, 3)
+        word = (s2 << 24) | (s << 16) | (s << 8) | s3
+        te0.append(word)
+        te1.append(((word >> 8) | (word << 24)) & 0xFFFFFFFF)
+        te2.append(((word >> 16) | (word << 16)) & 0xFFFFFFFF)
+        te3.append(((word >> 24) | (word << 8)) & 0xFFFFFFFF)
+        te4.append(s * 0x01010101)
+    return te0, te1, te2, te3, te4
+
+
+def _build_decrypt_tables() -> Tuple[List[int], ...]:
+    """Td0..Td3 (InvMixColumns folded in) and Td4 (inverse S-box)."""
+    td0, td1, td2, td3, td4 = [], [], [], [], []
+    for x in range(256):
+        s = INV_SBOX[x]
+        se = _gf_mul(s, 0x0E)
+        s9 = _gf_mul(s, 0x09)
+        sd = _gf_mul(s, 0x0D)
+        sb = _gf_mul(s, 0x0B)
+        word = (se << 24) | (s9 << 16) | (sd << 8) | sb
+        td0.append(word)
+        td1.append(((word >> 8) | (word << 24)) & 0xFFFFFFFF)
+        td2.append(((word >> 16) | (word << 16)) & 0xFFFFFFFF)
+        td3.append(((word >> 24) | (word << 8)) & 0xFFFFFFFF)
+        td4.append(s * 0x01010101)
+    return td0, td1, td2, td3, td4
+
+
+TE0, TE1, TE2, TE3, TE4 = _build_encrypt_tables()
+TD0, TD1, TD2, TD3, TD4 = _build_decrypt_tables()
+
+#: Table identifiers in memory-layout order; each table is 1 KB
+#: (256 entries x 4 bytes), matching "ten 1-KB lookup tables".
+ENCRYPT_TABLE_NAMES = ("Te0", "Te1", "Te2", "Te3", "Te4")
+DECRYPT_TABLE_NAMES = ("Td0", "Td1", "Td2", "Td3", "Td4")
+TABLE_ENTRIES = 256
+TABLE_ENTRY_BYTES = 4
+TABLE_BYTES = TABLE_ENTRIES * TABLE_ENTRY_BYTES
+
+
+def inv_mix_columns_word(word: int) -> int:
+    """InvMixColumns applied to one 32-bit column (for the key schedule)."""
+    b0 = (word >> 24) & 0xFF
+    b1 = (word >> 16) & 0xFF
+    b2 = (word >> 8) & 0xFF
+    b3 = word & 0xFF
+    m = _gf_mul
+    return (((m(b0, 0x0E) ^ m(b1, 0x0B) ^ m(b2, 0x0D) ^ m(b3, 0x09)) << 24) |
+            ((m(b0, 0x09) ^ m(b1, 0x0E) ^ m(b2, 0x0B) ^ m(b3, 0x0D)) << 16) |
+            ((m(b0, 0x0D) ^ m(b1, 0x09) ^ m(b2, 0x0E) ^ m(b3, 0x0B)) << 8) |
+            (m(b0, 0x0B) ^ m(b1, 0x0D) ^ m(b2, 0x09) ^ m(b3, 0x0E)))

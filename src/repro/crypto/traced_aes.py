@@ -1,0 +1,285 @@
+"""AES-128 with a memory reference trace: the victim the attacks target.
+
+``TracedAES128`` performs bit-identical encryption/decryption to
+:class:`repro.crypto.aes.AES128` while emitting every data access the
+software cipher performs:
+
+* the 160 table lookups per block (16 per round; rounds 1..9 hit
+  Te0..Te3, the final round hits Te4 — the paper's ``T4``),
+* round-key loads,
+* plaintext loads / ciphertext stores,
+* a configurable number of stack/bookkeeping accesses per block, tuned
+  so security-critical accesses are ~24% of all data-cache accesses, the
+  fraction Section VI reports for OpenSSL AES.
+
+The memory layout places the ten 1-KB tables contiguously (as a shared
+library's ``.rodata`` would), which is what gives the storage channel
+its boundary effect (Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cpu.trace import TraceRecord
+from repro.crypto.aes import AES128, _bytes_from_words, _words_from_bytes
+from repro.crypto.aes_tables import (
+    TABLE_BYTES,
+    TD0, TD1, TD2, TD3, TD4,
+    TE0, TE1, TE2, TE3, TE4,
+)
+from repro.secure.region import ProtectedRegion, RegionSet
+
+#: instructions per memory access in the modelled cipher inner loop
+DEFAULT_GAP = 3
+#: stack/bookkeeping accesses per block so table lookups are ~24% of refs
+DEFAULT_EXTRA_REFS = 456
+
+
+@dataclass(frozen=True)
+class AesMemoryLayout:
+    """Where the cipher's data lives in the simulated address space.
+
+    Defaults put the five encryption tables at 64 KB and the five
+    decryption tables right after — contiguous 1-KB tables, 64-byte
+    aligned, 16 cache lines each.
+    """
+
+    enc_table_base: int = 0x10000
+    dec_table_base: int = 0x10000 + 5 * TABLE_BYTES
+    round_key_base: int = 0x20000
+    # The stack sits 332 lines above the tables so that, in a small
+    # direct-mapped L1 (8 KB = 128 sets), a few of its lines alias with
+    # table sets — the realistic partial conflict that makes locking
+    # defences (PLcache+preload) degrade at small sizes — while in a
+    # 32 KB cache (512 sets) there is no aliasing at all, as in Fig. 6.
+    stack_base: int = 0x10000 + 332 * 64
+    message_base: int = 0x40000
+    line_size: int = 64
+
+    def enc_table_addr(self, table: int, index: int) -> int:
+        """Byte address of entry ``index`` of Te``table``."""
+        return self.enc_table_base + table * TABLE_BYTES + index * 4
+
+    def dec_table_addr(self, table: int, index: int) -> int:
+        return self.dec_table_base + table * TABLE_BYTES + index * 4
+
+    def enc_regions(self) -> RegionSet:
+        """The five encryption tables as protected regions."""
+        return RegionSet([
+            ProtectedRegion(self.enc_table_base + i * TABLE_BYTES,
+                            TABLE_BYTES, self.line_size, name=f"Te{i}")
+            for i in range(5)
+        ])
+
+    def dec_regions(self) -> RegionSet:
+        return RegionSet([
+            ProtectedRegion(self.dec_table_base + i * TABLE_BYTES,
+                            TABLE_BYTES, self.line_size, name=f"Td{i}")
+            for i in range(5)
+        ])
+
+    def all_regions(self) -> RegionSet:
+        """All ten tables (the Figure 8 enc+dec workload protects these)."""
+        return RegionSet(list(self.enc_regions()) + list(self.dec_regions()))
+
+    def final_round_table(self, decrypt: bool = False) -> ProtectedRegion:
+        """The paper's T4: the final-round table region."""
+        base = (self.dec_table_base if decrypt else self.enc_table_base)
+        name = "Td4" if decrypt else "Te4"
+        return ProtectedRegion(base + 4 * TABLE_BYTES, TABLE_BYTES,
+                               self.line_size, name=name)
+
+
+class TracedAES128(AES128):
+    """AES-128 whose block operations emit their memory reference trace."""
+
+    def __init__(self, key: bytes, layout: AesMemoryLayout = AesMemoryLayout(),
+                 gap: int = DEFAULT_GAP,
+                 extra_refs_per_block: int = DEFAULT_EXTRA_REFS):
+        super().__init__(key)
+        if gap < 1:
+            raise ValueError(f"gap must be >= 1, got {gap}")
+        if extra_refs_per_block < 0:
+            raise ValueError("extra_refs_per_block must be >= 0")
+        self.layout = layout
+        self.gap = gap
+        self.extra_refs_per_block = extra_refs_per_block
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit_extras(self, out: List[TraceRecord], count: int) -> None:
+        """Stack/bookkeeping traffic: cycles through a 1-KB hot region."""
+        gap = self.gap
+        base = self.layout.stack_base
+        for i in range(count):
+            out.append((base + (i * 8) % 1024, gap, i & 1))
+
+    def _emit_round_keys(self, out: List[TraceRecord], first_word: int,
+                         count: int = 4) -> None:
+        gap = self.gap
+        base = self.layout.round_key_base
+        for w in range(first_word, first_word + count):
+            out.append((base + w * 4, gap, 0))
+
+    # -- traced block encryption --------------------------------------------
+
+    def encrypt_block_traced(
+            self, plaintext: bytes, message_offset: int = 0,
+            lookup_sink: Optional[Callable[[int, int], None]] = None,
+    ) -> Tuple[bytes, List[TraceRecord]]:
+        """Encrypt one block, returning (ciphertext, trace).
+
+        ``lookup_sink(table, index)``, when given, receives every table
+        lookup as it happens (used by the attack analysis to know the
+        true final-round indices).
+        """
+        if len(plaintext) != 16:
+            raise ValueError(f"block must be 16 bytes, got {len(plaintext)}")
+        out: List[TraceRecord] = []
+        gap = self.gap
+        layout = self.layout
+        rk = self.round_keys
+        tables = (TE0, TE1, TE2, TE3)
+
+        msg = layout.message_base + message_offset
+        for w in range(4):
+            out.append((msg + w * 4, gap, 0))
+        self._emit_round_keys(out, 0)
+        extras_per_round = self.extra_refs_per_block // 10
+
+        s = [w ^ k for w, k in zip(_words_from_bytes(plaintext), rk[:4])]
+        for rnd in range(1, 10):
+            base = 4 * rnd
+            t = []
+            for col in range(4):
+                indices = ((s[col] >> 24) & 0xFF,
+                           (s[(col + 1) & 3] >> 16) & 0xFF,
+                           (s[(col + 2) & 3] >> 8) & 0xFF,
+                           s[(col + 3) & 3] & 0xFF)
+                word = rk[base + col]
+                for tbl, idx in enumerate(indices):
+                    word ^= tables[tbl][idx]
+                    out.append((layout.enc_table_addr(tbl, idx), gap, 0))
+                    if lookup_sink is not None:
+                        lookup_sink(tbl, idx)
+                t.append(word)
+            self._emit_round_keys(out, base)
+            self._emit_extras(out, extras_per_round)
+            s = t
+
+        # Final round: 16 lookups into Te4 (the paper's T4).
+        c = []
+        masks = (0xFF000000, 0x00FF0000, 0x0000FF00, 0x000000FF)
+        for col in range(4):
+            indices = ((s[col] >> 24) & 0xFF,
+                       (s[(col + 1) & 3] >> 16) & 0xFF,
+                       (s[(col + 2) & 3] >> 8) & 0xFF,
+                       s[(col + 3) & 3] & 0xFF)
+            word = rk[40 + col]
+            for pos, idx in enumerate(indices):
+                word ^= TE4[idx] & masks[pos]
+                out.append((layout.enc_table_addr(4, idx), gap, 0))
+                if lookup_sink is not None:
+                    lookup_sink(4, idx)
+            c.append(word)
+        self._emit_round_keys(out, 40)
+        self._emit_extras(out, self.extra_refs_per_block - 9 * extras_per_round)
+        for w in range(4):
+            out.append((msg + 16 + w * 4, gap, 1))
+        return _bytes_from_words(c), out
+
+    def decrypt_block_traced(
+            self, ciphertext: bytes, message_offset: int = 0,
+            lookup_sink: Optional[Callable[[int, int], None]] = None,
+    ) -> Tuple[bytes, List[TraceRecord]]:
+        """Decrypt one block, returning (plaintext, trace)."""
+        if len(ciphertext) != 16:
+            raise ValueError(f"block must be 16 bytes, got {len(ciphertext)}")
+        out: List[TraceRecord] = []
+        gap = self.gap
+        layout = self.layout
+        rk = self.decrypt_round_keys
+        tables = (TD0, TD1, TD2, TD3)
+
+        msg = layout.message_base + message_offset
+        for w in range(4):
+            out.append((msg + w * 4, gap, 0))
+        self._emit_round_keys(out, 0)
+        extras_per_round = self.extra_refs_per_block // 10
+
+        s = [w ^ k for w, k in zip(_words_from_bytes(ciphertext), rk[:4])]
+        for rnd in range(1, 10):
+            base = 4 * rnd
+            t = []
+            for col in range(4):
+                indices = ((s[col] >> 24) & 0xFF,
+                           (s[(col - 1) & 3] >> 16) & 0xFF,
+                           (s[(col - 2) & 3] >> 8) & 0xFF,
+                           s[(col - 3) & 3] & 0xFF)
+                word = rk[base + col]
+                for tbl, idx in enumerate(indices):
+                    word ^= tables[tbl][idx]
+                    out.append((layout.dec_table_addr(tbl, idx), gap, 0))
+                    if lookup_sink is not None:
+                        lookup_sink(tbl, idx)
+                t.append(word)
+            self._emit_round_keys(out, base)
+            self._emit_extras(out, extras_per_round)
+            s = t
+
+        # Final round: 16 lookups into Td4.
+        from repro.crypto.aes_tables import INV_SBOX
+        p = []
+        for col in range(4):
+            indices = ((s[col] >> 24) & 0xFF,
+                       (s[(col - 1) & 3] >> 16) & 0xFF,
+                       (s[(col - 2) & 3] >> 8) & 0xFF,
+                       s[(col - 3) & 3] & 0xFF)
+            word = rk[40 + col]
+            shift = 24
+            for idx in indices:
+                word ^= INV_SBOX[idx] << shift
+                out.append((layout.dec_table_addr(4, idx), gap, 0))
+                if lookup_sink is not None:
+                    lookup_sink(4, idx)
+                shift -= 8
+            p.append(word)
+        self._emit_round_keys(out, 40)
+        self._emit_extras(out, self.extra_refs_per_block - 9 * extras_per_round)
+        for w in range(4):
+            out.append((msg + 16 + w * 4, gap, 1))
+        return _bytes_from_words(p), out
+
+    # -- traced CBC over a whole message ------------------------------------
+
+    def encrypt_cbc_traced(self, plaintext: bytes,
+                           iv: bytes) -> Tuple[bytes, List[TraceRecord]]:
+        """CBC-encrypt a message (the Figure 6 workload is 32 KB)."""
+        if len(plaintext) % 16:
+            raise ValueError("CBC plaintext must be a multiple of 16 bytes")
+        if len(iv) != 16:
+            raise ValueError(f"IV must be 16 bytes, got {len(iv)}")
+        trace: List[TraceRecord] = []
+        out = bytearray()
+        prev = iv
+        for i in range(0, len(plaintext), 16):
+            block = bytes(a ^ b for a, b in zip(plaintext[i:i + 16], prev))
+            prev, block_trace = self.encrypt_block_traced(
+                block, message_offset=(i * 2) % 0x8000)
+            trace.extend(block_trace)
+            out.extend(prev)
+        return bytes(out), trace
+
+    def final_round_indices(self, plaintext: bytes) -> List[int]:
+        """The 16 final-round Te4 indices for one block (attack oracle).
+
+        Used by tests and the Monte Carlo analysis to check recovered
+        relations against ground truth; a real attacker cannot call this.
+        """
+        sink: List[int] = []
+        self.encrypt_block_traced(
+            plaintext,
+            lookup_sink=lambda tbl, idx: sink.append(idx) if tbl == 4 else None)
+        return sink

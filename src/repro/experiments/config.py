@@ -1,0 +1,85 @@
+"""Simulator configuration (the paper's Table IV).
+
++------------------------------+--------------------------+
+| Parameter                    | Value                    |
++------------------------------+--------------------------+
+| ISA                          | ALPHA                    |
+| Processor type               | 4-way out-of-order       |
+| L1 instruction cache         | 4-way 32 KB              |
+| L2 cache                     | 8-way 2 MB               |
+| Cache line size              | 64 bytes                 |
+| Cache replacement algorithm  | LRU                      |
+| miss queue entries           | 4                        |
+| L1/L2 hit latency            | 1 cycle / 20 cycles      |
+| DRAM frequency/channels      | DDR3-1600/1              |
++------------------------------+--------------------------+
+
+The L1 *data* cache geometry is the experiment variable (8/16/32 KB,
+DM/2-way/4-way).  The ISA and L1-I entries are carried as documentation:
+the trace-driven model has no instruction fetch path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.memory.dram import DramConfig
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Complete configuration for one simulated machine."""
+
+    isa: str = "ALPHA"                 # documentation only
+    issue_width: int = 4
+    overlap_credit: int = 8            # cycles of miss latency OoO hides
+    l1d_size: int = 32 * 1024
+    l1d_assoc: int = 4
+    l1i_size: int = 32 * 1024          # documentation only
+    l1i_assoc: int = 4                 # documentation only
+    l2_size: int = 2 * 1024 * 1024
+    l2_assoc: int = 8
+    line_size: int = 64
+    replacement: str = "lru"
+    mshr_entries: int = 4
+    l1_hit_latency: int = 1
+    l2_hit_latency: int = 20
+    dram: DramConfig = field(default_factory=DramConfig)
+    newcache_extra_index_bits: int = 4
+
+    def with_l1d(self, size_bytes: int, assoc: int) -> "SimulatorConfig":
+        """The Figure 6/7/8 sweep axis: vary the L1-D geometry."""
+        return replace(self, l1d_size=size_bytes, l1d_assoc=assoc)
+
+    def attacker_favoring(self) -> "SimulatorConfig":
+        """Table III's attack setup: 1 miss-queue entry, no OoO hiding.
+
+        "we minimize the impact of a non-blocking cache by using only 1
+        miss queue entry ... This configuration favors the attacker."
+        """
+        return replace(self, mshr_entries=1, overlap_credit=0)
+
+
+#: The paper's baseline machine (Table IV).
+BASELINE_CONFIG = SimulatorConfig()
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Benchmark workload scaling factor from ``REPRO_BENCH_SCALE``.
+
+    The benches default to sizes that finish in minutes; set
+    ``REPRO_BENCH_SCALE=10`` (say) to approach paper-scale runs.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    if not raw:
+        return default
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be positive, got {raw!r}")
+    return value
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Scale a trial count by the bench scale factor."""
+    return max(minimum, int(n * bench_scale()))

@@ -1,0 +1,105 @@
+"""Concurrent-program performance: Figure 8.
+
+An SMT core co-runs a SPEC-like program (thread 0, the measured one)
+with a cryptographic stress loop (thread 1) that "continuously does
+both AES decryption and encryption of 32 KB random data", with all ten
+AES tables security-critical.  The figure reports the SPEC program's
+throughput (IPC) normalized to the demand-fetch baseline co-run.
+
+Schemes compared (the paper's legend): baseline, PLcache+preload,
+Randomfill+SA, Newcache, Randomfill+Newcache; cache configs 16 KB DM
+and 32 KB 4-way SA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.context import AccessContext
+from repro.core.window import RandomFillWindow
+from repro.cpu.smt import SmtThread, run_smt
+from repro.crypto.traced_aes import AesMemoryLayout
+from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
+from repro.experiments.perf_crypto import make_cbc_trace
+from repro.experiments.schemes import build_scheme
+from repro.workloads.spec import FIGURE8_ORDER, make_workload
+
+FIGURE8_SCHEMES = ("baseline", "plcache_preload", "random_fill",
+                   "newcache", "random_fill_newcache")
+FIGURE8_CONFIGS = ((16 * 1024, 1), (32 * 1024, 4))
+#: "A bidirectional random fill window with a size of 32 lines is used"
+FIGURE8_WINDOW = RandomFillWindow.bidirectional(32)
+
+
+@dataclass
+class ConcurrentPoint:
+    scheme: str
+    benchmark: str
+    l1_size: int
+    l1_assoc: int
+    ipc: float
+    normalized_throughput: float = 0.0
+
+
+def run_concurrent(scheme_name: str, benchmark: str,
+                   config: SimulatorConfig,
+                   n_refs: int = 60_000,
+                   aes_kb: int = 4,
+                   seed: int = 0,
+                   spec_trace=None, aes_trace=None) -> float:
+    """Co-run one benchmark with the AES stress thread; returns the
+    benchmark's IPC."""
+    layout = AesMemoryLayout()
+    protected = layout.all_regions()
+    scheme = build_scheme(scheme_name, config, seed=seed,
+                          protected=protected)
+    if scheme.os is not None:
+        # Only the cryptographic thread (1) enables random fill.
+        scheme.os.set_rr(FIGURE8_WINDOW.a, FIGURE8_WINDOW.b, thread_id=1)
+    if spec_trace is None:
+        spec_trace = make_workload(benchmark, n_refs=n_refs, seed=seed)
+    if aes_trace is None:
+        aes_trace = make_cbc_trace(message_kb=aes_kb, seed=seed,
+                                   layout=layout, decrypt_too=True)
+    # PLcache+preload: the crypto thread locks all ten tables up front.
+    scheme.prepare(ctx=AccessContext(thread_id=1))
+    threads = [
+        SmtThread(trace=spec_trace, ctx=AccessContext(thread_id=0)),
+        SmtThread(trace=aes_trace, ctx=AccessContext(thread_id=1),
+                  repeat=True),
+    ]
+    results = run_smt(scheme.l1, threads,
+                      issue_width=config.issue_width,
+                      overlap_credit=config.overlap_credit)
+    return results[0].ipc
+
+
+def figure8(benchmarks: Sequence[str] = FIGURE8_ORDER,
+            cache_configs: Sequence[Tuple[int, int]] = FIGURE8_CONFIGS,
+            schemes: Sequence[str] = FIGURE8_SCHEMES,
+            n_refs: int = 60_000,
+            aes_kb: int = 4,
+            seed: int = 0,
+            config: SimulatorConfig = BASELINE_CONFIG) -> List[ConcurrentPoint]:
+    """The Figure 8 sweep; normalized to the baseline scheme per cell."""
+    layout = AesMemoryLayout()
+    aes_trace = make_cbc_trace(message_kb=aes_kb, seed=seed, layout=layout,
+                               decrypt_too=True)
+    points: List[ConcurrentPoint] = []
+    for size, assoc in cache_configs:
+        cfg = config.with_l1d(size, assoc)
+        for benchmark in benchmarks:
+            spec_trace = make_workload(benchmark, n_refs=n_refs, seed=seed)
+            base_ipc: Optional[float] = None
+            for scheme_name in schemes:
+                ipc = run_concurrent(scheme_name, benchmark, cfg,
+                                     seed=seed, spec_trace=spec_trace,
+                                     aes_trace=aes_trace)
+                if scheme_name == "baseline":
+                    base_ipc = ipc
+                points.append(ConcurrentPoint(
+                    scheme=scheme_name, benchmark=benchmark,
+                    l1_size=size, l1_assoc=assoc, ipc=ipc,
+                    normalized_throughput=ipc / base_ipc))
+    return points

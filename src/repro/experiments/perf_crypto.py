@@ -1,0 +1,154 @@
+"""Cryptographic-program performance: Figures 6 and 7.
+
+Workload: "OpenSSL's AES encryption that takes a 32 KB random input and
+does a cipher block chaining (CBC) mode of encryption", with the five
+encryption tables protected and a random fill window of ``[-16, +15]``
+(covers any 1-KB table from any lookup).  IPC is normalized to the
+demand-fetch baseline with the same cache size and associativity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.window import RandomFillWindow
+from repro.cpu.timing import SimResult, TimingModel
+from repro.crypto.traced_aes import AesMemoryLayout, TracedAES128
+from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
+from repro.experiments.schemes import Scheme, build_scheme
+
+#: Figure 6 x-axis: cache sizes and associativities
+FIGURE6_SIZES = (8 * 1024, 16 * 1024, 32 * 1024)
+FIGURE6_ASSOCS = (1, 2, 4)
+FIGURE6_SCHEMES = ("baseline", "plcache_preload", "disable_cache",
+                   "random_fill")
+#: the paper's window for Figure 6: [i-16, i+15]
+FIGURE6_WINDOW = RandomFillWindow(16, 15)
+
+
+def make_cbc_trace(message_kb: int = 32, seed: int = 0,
+                   layout: AesMemoryLayout = AesMemoryLayout(),
+                   decrypt_too: bool = False):
+    """The Figure 6 workload trace: AES-CBC over random input.
+
+    With ``decrypt_too`` the trace alternates encryption and decryption
+    (the Figure 8 stress workload, touching all ten tables).
+    """
+    rng = random.Random(seed)
+    key = bytes(rng.randrange(256) for _ in range(16))
+    iv = bytes(rng.randrange(256) for _ in range(16))
+    data = bytes(rng.randrange(256) for _ in range(message_kb * 1024))
+    aes = TracedAES128(key, layout=layout)
+    ciphertext, trace = aes.encrypt_cbc_traced(data, iv)
+    if decrypt_too:
+        prev = iv
+        for i in range(0, len(ciphertext), 16):
+            block = ciphertext[i:i + 16]
+            _, block_trace = aes.decrypt_block_traced(
+                block, message_offset=(i * 2) % 0x8000)
+            trace.extend(block_trace)
+            prev = block
+    return trace
+
+
+@dataclass
+class CryptoPerfPoint:
+    """One (scheme, cache config) measurement."""
+
+    scheme: str
+    l1_size: int
+    l1_assoc: int
+    window_size: int
+    result: SimResult
+    normalized_ipc: float = 0.0
+
+
+def run_crypto_workload(scheme_name: str, config: SimulatorConfig,
+                        window: Optional[RandomFillWindow] = None,
+                        message_kb: int = 32, seed: int = 0,
+                        trace=None) -> SimResult:
+    """Run the AES-CBC workload on one scheme; returns the sim result."""
+    layout = AesMemoryLayout()
+    protected = layout.enc_regions()
+    scheme = build_scheme(scheme_name, config, seed=seed,
+                          protected=protected, window=window)
+    if trace is None:
+        trace = make_cbc_trace(message_kb=message_kb, seed=seed,
+                               layout=layout)
+    start = scheme.prepare()
+    timing = TimingModel(scheme.l1, issue_width=config.issue_width,
+                         overlap_credit=config.overlap_credit)
+    result = timing.run(trace, start_cycle=start)
+    if start:
+        # Charge the preload to the program's runtime.
+        result.cycles += start
+    return result
+
+
+def figure6(sizes: Sequence[int] = FIGURE6_SIZES,
+            assocs: Sequence[int] = FIGURE6_ASSOCS,
+            schemes: Sequence[str] = FIGURE6_SCHEMES,
+            message_kb: int = 32,
+            seed: int = 0,
+            config: SimulatorConfig = BASELINE_CONFIG) -> List[CryptoPerfPoint]:
+    """The Figure 6 sweep: normalized IPC per scheme per cache config."""
+    layout = AesMemoryLayout()
+    trace = make_cbc_trace(message_kb=message_kb, seed=seed, layout=layout)
+    points: List[CryptoPerfPoint] = []
+    for size in sizes:
+        for assoc in assocs:
+            cfg = config.with_l1d(size, assoc)
+            base = run_crypto_workload("baseline", cfg, seed=seed,
+                                       trace=trace)
+            for scheme_name in schemes:
+                window = FIGURE6_WINDOW if scheme_name == "random_fill" \
+                    else None
+                result = base if scheme_name == "baseline" else \
+                    run_crypto_workload(scheme_name, cfg, window=window,
+                                        seed=seed, trace=trace)
+                points.append(CryptoPerfPoint(
+                    scheme=scheme_name, l1_size=size, l1_assoc=assoc,
+                    window_size=(FIGURE6_WINDOW.size
+                                 if scheme_name == "random_fill" else 1),
+                    result=result,
+                    normalized_ipc=result.ipc / base.ipc))
+    return points
+
+
+#: Figure 7 cache configurations: (label, scheme base, size, assoc)
+FIGURE7_CONFIGS = (
+    ("8KB DM", "random_fill", 8 * 1024, 1),
+    ("32KB 4-way SA", "random_fill", 32 * 1024, 4),
+    ("8KB newcache", "random_fill_newcache", 8 * 1024, 1),
+    ("32KB Newcache", "random_fill_newcache", 32 * 1024, 1),
+)
+
+
+def figure7(window_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
+            configs: Sequence[Tuple[str, str, int, int]] = FIGURE7_CONFIGS,
+            message_kb: int = 32, seed: int = 0,
+            config: SimulatorConfig = BASELINE_CONFIG,
+            ) -> Dict[str, List[Tuple[int, float]]]:
+    """The Figure 7 sweep: normalized IPC vs bidirectional window size.
+
+    Window size 1 is the demand-fetch reference each curve is
+    normalized to (the zeroed range registers).
+    """
+    layout = AesMemoryLayout()
+    trace = make_cbc_trace(message_kb=message_kb, seed=seed, layout=layout)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for label, scheme_name, size, assoc in configs:
+        cfg = config.with_l1d(size, assoc)
+        base_ipc = None
+        points: List[Tuple[int, float]] = []
+        for w in window_sizes:
+            window = RandomFillWindow.bidirectional(w)
+            result = run_crypto_workload(scheme_name, cfg, window=window,
+                                         seed=seed, trace=trace)
+            if base_ipc is None:
+                base_ipc = result.ipc
+            points.append((w, result.ipc / base_ipc))
+        series[label] = points
+    return series

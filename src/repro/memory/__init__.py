@@ -1,0 +1,6 @@
+"""Memory substrate: address geometry helpers and the DRAM timing model."""
+
+from repro.memory.address import AddressMap
+from repro.memory.dram import DramModel, DramConfig
+
+__all__ = ["AddressMap", "DramModel", "DramConfig"]

@@ -1,0 +1,78 @@
+"""Address geometry: byte addresses, line addresses, set indices, tags.
+
+The whole simulator works on *line addresses* (byte address >> log2(line
+size)) in its hot paths; this module is the single place where the
+byte/line/set/tag arithmetic lives, so cache geometry is consistent
+everywhere (Table IV: 64-byte lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _log2_exact(value: int, name: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Maps byte addresses to (line, set, tag) for a given cache geometry.
+
+    Parameters
+    ----------
+    line_size:
+        Cache line size in bytes (64 in the paper's Table IV).
+    num_sets:
+        Number of cache sets (1 for a fully-associative view).
+    """
+
+    line_size: int
+    num_sets: int
+
+    def __post_init__(self) -> None:
+        _log2_exact(self.line_size, "line_size")
+        _log2_exact(self.num_sets, "num_sets")
+
+    @property
+    def line_bits(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    @property
+    def set_bits(self) -> int:
+        return self.num_sets.bit_length() - 1
+
+    def line_of(self, byte_addr: int) -> int:
+        """Line address of a byte address."""
+        return byte_addr >> self.line_bits
+
+    def byte_of_line(self, line_addr: int) -> int:
+        """First byte address of a line."""
+        return line_addr << self.line_bits
+
+    def set_of_line(self, line_addr: int) -> int:
+        """Set index of a line address."""
+        return line_addr & (self.num_sets - 1)
+
+    def tag_of_line(self, line_addr: int) -> int:
+        """Tag of a line address (bits above the set index)."""
+        return line_addr >> self.set_bits
+
+    def set_of(self, byte_addr: int) -> int:
+        return self.set_of_line(self.line_of(byte_addr))
+
+
+def lines_spanned(base_byte_addr: int, size_bytes: int, line_size: int) -> range:
+    """Range of line addresses covering ``[base, base + size)``.
+
+    Used to enumerate the cache lines of a lookup table (e.g. a 1-KB AES
+    table spans 16 lines of 64 bytes).
+    """
+    if size_bytes <= 0:
+        raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+    line_bits = _log2_exact(line_size, "line_size")
+    first = base_byte_addr >> line_bits
+    last = (base_byte_addr + size_bytes - 1) >> line_bits
+    return range(first, last + 1)

@@ -1,0 +1,103 @@
+"""Single-channel DDR3-1600 DRAM timing model.
+
+Table IV specifies "DRAM frequency/channels: DDR3-1600/1".  The paper uses
+gem5's detailed DRAM model; we build a reduced open-page model that keeps
+the two properties the evaluation depends on:
+
+* a large, row-buffer-dependent access latency (so L2 misses are expensive
+  and the hit/miss timing gap the attacks exploit is realistic), and
+* a single channel with finite banks, so concurrent misses queue — the
+  memory-level-parallelism effects behind Section VII's streaming results
+  survive.
+
+Latency numbers are derived from standard DDR3-1600 (11-11-11) timings at
+the CPU clock: with an 800 MHz DRAM clock and a nominal 2 GHz core,
+tRCD = tCAS = tRP = 13.75 ns ≈ 28 CPU cycles each, plus a fixed
+controller/bus overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Timing parameters, in CPU cycles."""
+
+    t_rcd: int = 28       # row activate -> column access
+    t_cas: int = 28       # column access -> first data
+    t_rp: int = 28        # precharge (row close)
+    t_burst: int = 8      # data burst for one 64-byte line
+    controller_overhead: int = 20
+    num_banks: int = 8
+    row_size_bytes: int = 8192
+    line_size: int = 64
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.controller_overhead + self.t_cas + self.t_burst
+
+    @property
+    def row_miss_latency(self) -> int:
+        return (self.controller_overhead + self.t_rp + self.t_rcd
+                + self.t_cas + self.t_burst)
+
+
+class DramModel:
+    """Open-page DRAM with per-bank row buffers and bank busy times.
+
+    The model is *functional* for addresses (any line address is valid)
+    and *temporal* for latency: ``access`` returns the completion cycle of
+    a line fetch issued at ``now``.
+    """
+
+    def __init__(self, config: DramConfig = DramConfig()):
+        self.config = config
+        self._open_row: Dict[int, int] = {}
+        self._bank_free_at: Dict[int, int] = {}
+        self.row_hits = 0
+        self.row_misses = 0
+        self.lines_transferred = 0
+
+    def _bank_and_row(self, line_addr: int) -> "tuple[int, int]":
+        lines_per_row = self.config.row_size_bytes // self.config.line_size
+        row = line_addr // lines_per_row
+        bank = row % self.config.num_banks
+        return bank, row
+
+    def access(self, line_addr: int, now: int) -> int:
+        """Fetch one line; returns the cycle at which data is available.
+
+        The bank is busy only for the non-pipelined part of the access
+        (precharge/activate plus the data burst); column accesses to an
+        open row pipeline behind each other, so a stream of row hits is
+        limited by burst bandwidth, not by the full access latency.
+        """
+        cfg = self.config
+        bank, row = self._bank_and_row(line_addr)
+        start = max(now, self._bank_free_at.get(bank, 0))
+        if self._open_row.get(bank) == row:
+            latency = cfg.row_hit_latency
+            busy = cfg.t_burst
+            self.row_hits += 1
+        else:
+            latency = cfg.row_miss_latency
+            busy = cfg.t_rp + cfg.t_rcd + cfg.t_burst
+            self.row_misses += 1
+            self._open_row[bank] = row
+        self._bank_free_at[bank] = start + busy
+        self.lines_transferred += 1
+        return start + latency
+
+    def reset_stats(self) -> None:
+        self.row_hits = 0
+        self.row_misses = 0
+        self.lines_transferred = 0
+
+    def reset(self) -> None:
+        """Full reset: stats, open rows, and bank timing."""
+        self.reset_stats()
+        self._open_row.clear()
+        self._bank_free_at.clear()

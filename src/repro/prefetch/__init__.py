@@ -1,0 +1,5 @@
+"""Hardware prefetchers used for the Section VII comparison."""
+
+from repro.prefetch.tagged import TaggedPrefetchPolicy, build_tagged_prefetch_l1
+
+__all__ = ["TaggedPrefetchPolicy", "build_tagged_prefetch_l1"]

@@ -1,0 +1,67 @@
+"""Tagged next-line prefetcher (Vanderwiel & Lilja survey, Section VII).
+
+The paper compares random fill against "a commonly used tagged
+prefetcher, that associates a 1-bit tag with the cache line to detect
+when a demand-fetched or prefetched cache line is referenced for the
+first time, to fetch the next sequential line."
+
+Implemented as a fill policy: demand misses fetch normally *and* queue
+line ``i+1``; the first hit on a line whose tag bit is still set also
+queues ``i+1`` and clears the bit.  The prefetch requests reuse the
+controller's fill queue / MSHR path exactly like random fill requests
+(they are ``RANDOM_FILL``-typed: fill, no data to CPU).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.cache.context import AccessContext
+from repro.cache.controller import FillPolicy, L1Controller, MissPlan
+from repro.cache.mshr import RequestType
+
+
+class TaggedPrefetchPolicy(FillPolicy):
+    """Demand fetch + tagged next-sequential-line prefetching."""
+
+    def __init__(self) -> None:
+        # Lines whose 1-bit tag is set (untouched since being fetched).
+        self._tagged: Set[int] = set()
+        self._controller: "L1Controller | None" = None
+        self.prefetches_triggered = 0
+
+    def attach(self, controller: L1Controller) -> None:
+        """Bind to the controller whose fill queue receives prefetches.
+
+        Needed because first-reference detection happens on *hits*,
+        where the policy must push a new request itself.
+        """
+        self._controller = controller
+
+    def on_miss(self, line_addr: int, ctx: AccessContext) -> MissPlan:
+        # Demand fetch of i prefetches i+1; the prefetched line is tagged
+        # so its first reference triggers the next prefetch.
+        self._tagged.add(line_addr + 1)
+        self.prefetches_triggered += 1
+        return MissPlan(RequestType.NORMAL, (line_addr + 1,))
+
+    def on_hit(self, line_addr: int, ctx: AccessContext) -> None:
+        if line_addr in self._tagged:
+            # First reference to a prefetched line: chain the next one.
+            self._tagged.discard(line_addr)
+            if self._controller is not None:
+                self._tagged.add(line_addr + 1)
+                self.prefetches_triggered += 1
+                self._controller._enqueue_random_fills((line_addr + 1,), ctx)
+
+    def reset(self) -> None:
+        self._tagged.clear()
+        self.prefetches_triggered = 0
+
+
+def build_tagged_prefetch_l1(tag_store, next_level, **kwargs) -> L1Controller:
+    """Construct an L1 controller with the tagged prefetcher attached."""
+    policy = TaggedPrefetchPolicy()
+    controller = L1Controller(tag_store, next_level, policy=policy, **kwargs)
+    policy.attach(controller)
+    return controller

@@ -1,0 +1,25 @@
+"""Secure cache designs from prior work (Section III), for comparison.
+
+All of these defend (only) against contention based attacks — they keep
+the demand fetch policy, which the paper identifies as the root cause of
+reuse based attacks.  They serve as baselines and as substrates the
+random fill strategy composes with.
+"""
+
+from repro.secure.newcache import Newcache
+from repro.secure.nocache import DisableCachePolicy
+from repro.secure.nomo import NoMoCache
+from repro.secure.plcache import PLCache, preload_and_lock
+from repro.secure.region import ProtectedRegion, RegionSet
+from repro.secure.rpcache import RPCache
+
+__all__ = [
+    "DisableCachePolicy",
+    "Newcache",
+    "NoMoCache",
+    "PLCache",
+    "ProtectedRegion",
+    "RPCache",
+    "RegionSet",
+    "preload_and_lock",
+]

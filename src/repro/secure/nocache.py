@@ -1,0 +1,28 @@
+"""Disable-cache defence: bypass the cache for security-critical data.
+
+The "drastic approach" of Section III-B: accesses to the protected
+regions never allocate in (or even look up) the L1 — every one pays an
+L2/DRAM round trip, guaranteeing constant *L1* behaviour at a large
+performance cost (the paper measures ~45% for AES).  Non-critical
+accesses behave as normal demand fetch.
+"""
+
+from __future__ import annotations
+
+from repro.cache.context import AccessContext
+from repro.cache.controller import FillPolicy, MissPlan
+from repro.cache.mshr import RequestType
+from repro.secure.region import RegionSet
+
+
+class DisableCachePolicy(FillPolicy):
+    """Demand fetch for normal data; full bypass for protected lines."""
+
+    def __init__(self, protected: RegionSet):
+        self.protected = protected
+
+    def bypass(self, line_addr: int, ctx: AccessContext) -> bool:
+        return self.protected.contains_line(line_addr)
+
+    def on_miss(self, line_addr: int, ctx: AccessContext) -> MissPlan:
+        return MissPlan(RequestType.NORMAL)

@@ -1,0 +1,52 @@
+"""NoMo cache: non-monopolizable static way partitioning (Domnitser+ '12).
+
+NoMo-k reserves ``k`` ways of every set for each active SMT hardware
+thread; a thread may monopolize at most ``assoc - k * (threads - 1)``
+ways of any set.  The victim chooser therefore refuses to evict another
+thread's line while that thread holds no more than its reservation in
+the set.  NoMo only helps while victim and attacker run simultaneously
+on an SMT core (Section III-A), and — being demand fetch — does nothing
+against reuse based attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cache.context import AccessContext
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.tagstore import LineState
+
+
+class NoMoCache(SetAssociativeCache):
+    """Set-associative cache with per-thread reserved ways."""
+
+    def __init__(self, size_bytes: int, associativity: int,
+                 line_size: int = 64, reserved_ways: int = 1,
+                 num_threads: int = 2, **kwargs):
+        super().__init__(size_bytes, associativity, line_size, **kwargs)
+        if reserved_ways < 0:
+            raise ValueError(f"reserved_ways must be >= 0, got {reserved_ways}")
+        if reserved_ways * num_threads > associativity:
+            raise ValueError(
+                f"cannot reserve {reserved_ways} ways for each of "
+                f"{num_threads} threads in a {associativity}-way cache"
+            )
+        self.reserved_ways = reserved_ways
+        self.num_threads = num_threads
+
+    def _evictable_indices(self, cache_set: List[LineState],
+                           ctx: AccessContext) -> List[int]:
+        counts: Dict[int, int] = {}
+        for line in cache_set:
+            counts[line.owner] = counts.get(line.owner, 0) + 1
+        evictable = []
+        for i, line in enumerate(cache_set):
+            if line.locked and line.owner != ctx.thread_id:
+                continue
+            if line.owner != ctx.thread_id and \
+                    counts[line.owner] <= self.reserved_ways:
+                # The other thread is within its reservation: immune.
+                continue
+            evictable.append(i)
+        return evictable

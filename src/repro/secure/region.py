@@ -1,0 +1,78 @@
+"""Security-critical memory regions (lookup tables).
+
+Attacks, preloading, and the disable-cache scheme all need to reason
+about "the M cache lines starting at M0" (Section V).  A
+:class:`ProtectedRegion` is that contiguous region; a
+:class:`RegionSet` groups several (e.g. the ten 1-KB AES tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class ProtectedRegion:
+    """Contiguous security-critical region: ``[base, base + size)`` bytes."""
+
+    base: int
+    size: int
+    line_size: int = 64
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region size must be positive, got {self.size}")
+        if self.base % self.line_size:
+            raise ValueError(
+                f"region base 0x{self.base:x} not aligned to "
+                f"{self.line_size}-byte lines"
+            )
+
+    @property
+    def first_line(self) -> int:
+        return self.base // self.line_size
+
+    @property
+    def num_lines(self) -> int:
+        """M: the number of cache lines the region spans."""
+        return -(-self.size // self.line_size)
+
+    @property
+    def lines(self) -> range:
+        return range(self.first_line, self.first_line + self.num_lines)
+
+    def contains_line(self, line_addr: int) -> bool:
+        return self.first_line <= line_addr < self.first_line + self.num_lines
+
+    def contains_byte(self, byte_addr: int) -> bool:
+        return self.base <= byte_addr < self.base + self.size
+
+    def line_of_offset(self, offset: int) -> int:
+        """Line address of byte offset ``offset`` within the region."""
+        if not 0 <= offset < self.size:
+            raise ValueError(f"offset {offset} outside region of size {self.size}")
+        return (self.base + offset) // self.line_size
+
+
+class RegionSet:
+    """A collection of protected regions with fast line membership."""
+
+    def __init__(self, regions: Iterable[ProtectedRegion] = ()):
+        self.regions: List[ProtectedRegion] = list(regions)
+        self._lines = frozenset(
+            line for region in self.regions for line in region.lines)
+
+    def contains_line(self, line_addr: int) -> bool:
+        return line_addr in self._lines
+
+    @property
+    def num_lines(self) -> int:
+        return len(self._lines)
+
+    def __iter__(self) -> Iterator[ProtectedRegion]:
+        return iter(self.regions)
+
+    def __len__(self) -> int:
+        return len(self.regions)

@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG model, text tables, math helpers."""
+
+from repro.util.rng import HardwareRng, derive_seed
+from repro.util.tables import format_table
+from repro.util.stats import mean, population_variance, sample_variance, welch_t
+
+__all__ = [
+    "HardwareRng",
+    "derive_seed",
+    "format_table",
+    "mean",
+    "population_variance",
+    "sample_variance",
+    "welch_t",
+]

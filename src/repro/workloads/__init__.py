@@ -1,0 +1,27 @@
+"""Synthetic workload generators standing in for SPEC CPU2006."""
+
+from repro.workloads.spec import (
+    FIGURE8_ORDER,
+    SPEC_BENCHMARKS,
+    STREAMING_BENCHMARKS,
+    WORKLOAD_BASE,
+    make_workload,
+)
+from repro.workloads.synthetic import (
+    locality_mixture,
+    pointer_chase,
+    streaming,
+    strided,
+)
+
+__all__ = [
+    "FIGURE8_ORDER",
+    "SPEC_BENCHMARKS",
+    "STREAMING_BENCHMARKS",
+    "WORKLOAD_BASE",
+    "locality_mixture",
+    "make_workload",
+    "pointer_chase",
+    "streaming",
+    "strided",
+]

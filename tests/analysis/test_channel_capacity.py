@@ -1,0 +1,95 @@
+"""Tests for the storage-channel capacity analysis (Section V-B)."""
+
+import math
+
+import pytest
+
+from repro.analysis.channel_capacity import (
+    channel_capacity_bits,
+    demand_fetch_capacity_bits,
+    figure5_series,
+    normalized_capacity,
+    transition_probability,
+)
+from repro.core.window import RandomFillWindow
+
+
+class TestTransitionProbability:
+    def test_equation7(self):
+        w = RandomFillWindow(2, 1)  # size 4
+        assert transition_probability(10, 8, w) == 0.25
+        assert transition_probability(10, 11, w) == 0.25
+        assert transition_probability(10, 12, w) == 0.0
+        assert transition_probability(10, 7, w) == 0.0
+
+    def test_rows_sum_to_one(self):
+        w = RandomFillWindow(5, 7)
+        total = sum(transition_probability(0, j, w) for j in range(-10, 10))
+        assert total == pytest.approx(1.0)
+
+
+class TestCapacity:
+    def test_demand_fetch_is_log2_m(self):
+        assert demand_fetch_capacity_bits(16) == 4.0
+        # window of size 1 is the identity channel
+        c = channel_capacity_bits(16, RandomFillWindow(0, 0))
+        assert c == pytest.approx(4.0)
+
+    def test_capacity_decreases_with_window(self):
+        caps = [channel_capacity_bits(16, RandomFillWindow.bidirectional(w))
+                for w in (1, 2, 4, 8, 16, 32)]
+        assert all(a > b for a, b in zip(caps, caps[1:]))
+
+    def test_never_negative(self):
+        for w in (1, 2, 8, 64):
+            assert channel_capacity_bits(
+                8, RandomFillWindow.bidirectional(w)) >= 0
+
+    def test_boundary_effect_keeps_channel_open(self):
+        """Section V-B: the storage channel cannot be completely closed."""
+        c = channel_capacity_bits(16, RandomFillWindow(16, 15))
+        assert c > 0
+
+    def test_order_of_magnitude_drop_at_twice_m(self):
+        """Capacity drops >10x when the window is twice the region."""
+        for m in (8, 16, 64, 128):
+            window = RandomFillWindow(m, m - 1)  # size 2M
+            assert normalized_capacity(m, window) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            channel_capacity_bits(0, RandomFillWindow(1, 1))
+        with pytest.raises(ValueError):
+            demand_fetch_capacity_bits(0)
+
+
+class TestNormalized:
+    def test_identity_is_one(self):
+        assert normalized_capacity(16, RandomFillWindow(0, 0)) == \
+            pytest.approx(1.0)
+
+    def test_single_line_region(self):
+        assert normalized_capacity(1, RandomFillWindow(4, 3)) == 0.0
+
+    def test_bounds(self):
+        for w in (2, 8, 32):
+            v = normalized_capacity(16, RandomFillWindow.bidirectional(w))
+            assert 0.0 <= v <= 1.0
+
+
+class TestFigure5:
+    def test_series_structure(self):
+        series = figure5_series()
+        assert set(series) == {8, 16, 64, 128}
+        for points in series.values():
+            xs = [x for x, _ in points]
+            ys = [y for _, y in points]
+            assert xs == sorted(xs)
+            # monotone non-increasing capacity
+            assert all(a >= b - 1e-9 for a, b in zip(ys, ys[1:]))
+
+    def test_larger_m_less_boundary_leakage(self):
+        """Section V-B: the boundary effect is smaller for larger M."""
+        series = figure5_series(normalized_window_sizes=(2.0,))
+        caps = {m: points[0][1] for m, points in series.items()}
+        assert caps[128] < caps[8]

@@ -1,0 +1,86 @@
+"""Tests for the P1 - P2 Monte Carlo analysis (Table III)."""
+
+import pytest
+
+from repro.analysis.hit_probability import (
+    FunctionalRandomFillCache,
+    monte_carlo_p1_p2,
+    newcache_tag_store_factory,
+    sa_tag_store_factory,
+)
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.window import RandomFillWindow
+from repro.util.rng import HardwareRng
+
+
+class TestFunctionalCache:
+    def test_demand_fetch_installs_demand_line(self):
+        cache = FunctionalRandomFillCache(
+            SetAssociativeCache(4096, 4), RandomFillWindow(0, 0),
+            HardwareRng(1))
+        assert not cache.access_line(5)
+        assert cache.access_line(5)
+
+    def test_random_fill_never_installs_demand_line_directly(self):
+        cache = FunctionalRandomFillCache(
+            SetAssociativeCache(4096, 4), RandomFillWindow(0, 7),
+            HardwareRng(1))
+        cache.access_line(100)
+        resident = set(cache.tag_store.resident_lines())
+        assert len(resident) == 1
+        assert resident <= set(range(100, 108))
+
+    def test_fill_within_window(self):
+        cache = FunctionalRandomFillCache(
+            SetAssociativeCache(65536, 4), RandomFillWindow(4, 3),
+            HardwareRng(2))
+        for i in range(100):
+            cache.access_line(1000 + i * 50)
+        for line in cache.tag_store.resident_lines():
+            demand = round((line - 1000) / 50) * 50 + 1000
+            assert demand - 4 <= line <= demand + 3
+
+
+class TestMonteCarloP1P2:
+    def test_demand_fetch_p1_is_one(self):
+        result = monte_carlo_p1_p2(sa_tag_store_factory(),
+                                   RandomFillWindow(0, 0),
+                                   trials=300, seed=1)
+        assert result.p1 == pytest.approx(1.0)
+        assert 0.2 < result.p2 < 0.6
+        assert result.p1_minus_p2 > 0.4
+
+    def test_covering_window_closes_channel(self):
+        """a, b >= M-1: P1 - P2 ~ 0 (Section V-A's security condition)."""
+        result = monte_carlo_p1_p2(sa_tag_store_factory(),
+                                   RandomFillWindow.bidirectional(32),
+                                   trials=600, seed=2)
+        assert abs(result.p1_minus_p2) < 0.05
+
+    def test_monotone_decrease_with_window(self):
+        values = []
+        for size in (1, 4, 16):
+            r = monte_carlo_p1_p2(sa_tag_store_factory(),
+                                  RandomFillWindow.bidirectional(size),
+                                  trials=400, seed=3)
+            values.append(r.p1_minus_p2)
+        assert values[0] > values[1] > values[2]
+
+    def test_newcache_substrate(self):
+        result = monte_carlo_p1_p2(newcache_tag_store_factory(seed=9),
+                                   RandomFillWindow(0, 0),
+                                   trials=200, seed=4)
+        assert result.p1_minus_p2 > 0.3  # demand-fetch Newcache leaks too
+
+    def test_sample_counts(self):
+        result = monte_carlo_p1_p2(sa_tag_store_factory(),
+                                   RandomFillWindow(0, 0),
+                                   trials=100, seed=5)
+        # 120 ordered pairs per trial
+        assert result.collision_samples + result.no_collision_samples == \
+            100 * 120
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            monte_carlo_p1_p2(sa_tag_store_factory(),
+                              RandomFillWindow(0, 0), trials=0)

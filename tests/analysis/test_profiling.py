@@ -1,0 +1,49 @@
+"""Tests for the Eff(d) reference-ratio profiler (Figure 9)."""
+
+from repro.analysis.profiling import profile_reference_ratio
+from repro.core.window import RandomFillWindow
+from repro.workloads.synthetic import locality_mixture, streaming
+
+BASE = 0x100_0000
+
+
+class TestProfiler:
+    def test_eff_bounded(self):
+        trace = streaming(5000, BASE, 100000, seed=1)
+        profile = profile_reference_ratio(trace, RandomFillWindow(16, 16))
+        for d, eff in profile.series():
+            assert 0.0 <= eff <= 1.0
+            assert -16 <= d <= 16
+
+    def test_forward_stream_has_forward_locality(self):
+        trace = streaming(20000, BASE, 100000, refs_per_line=4, seed=2)
+        profile = profile_reference_ratio(trace, RandomFillWindow(16, 16))
+        forward = sum(profile.eff(d) for d in range(1, 9))
+        backward = sum(profile.eff(d) for d in range(-8, 0))
+        assert forward > backward
+
+    def test_narrow_locality_peaks_near_zero(self):
+        trace = locality_mixture(20000, BASE, 2048, 64, 0.4, 0.4, 2,
+                                 refs_per_line=2, seed=3)
+        profile = profile_reference_ratio(trace, RandomFillWindow(16, 16))
+        near = max(profile.eff(d) for d in (-2, -1, 0, 1, 2))
+        far = max((profile.eff(d) for d in (-16, -15, 14, 15, 16)),
+                  default=0.0)
+        assert near > far
+
+    def test_demand_window_tags_offset_zero(self):
+        trace = streaming(2000, BASE, 100000, seed=4)
+        profile = profile_reference_ratio(trace, RandomFillWindow(0, 0))
+        assert set(profile.fetched) == {0}
+        assert profile.eff(0) > 0.5  # stream re-references its lines
+
+    def test_unfetched_offset_eff_zero(self):
+        trace = streaming(100, BASE, 100000, seed=5)
+        profile = profile_reference_ratio(trace, RandomFillWindow(1, 1))
+        assert profile.eff(12) == 0.0
+
+    def test_fetch_counts_match_series(self):
+        trace = streaming(3000, BASE, 100000, seed=6)
+        profile = profile_reference_ratio(trace, RandomFillWindow(4, 4))
+        assert sum(profile.fetched.values()) >= \
+            sum(profile.referenced.values())

@@ -1,0 +1,20 @@
+"""Tests for the Table I attack classification registry."""
+
+from repro.attacks import CLASSIFICATION
+
+
+class TestTableI:
+    def test_four_quadrants(self):
+        assert len(CLASSIFICATION) == 4
+
+    def test_quadrant_contents(self):
+        assert CLASSIFICATION[("contention", "access-driven")] == "prime-probe"
+        assert CLASSIFICATION[("contention", "timing-driven")] == "evict-time"
+        assert CLASSIFICATION[("reuse", "access-driven")] == "flush-reload"
+        assert CLASSIFICATION[("reuse", "timing-driven")] == "cache-collision"
+
+    def test_axes(self):
+        mechanisms = {k[0] for k in CLASSIFICATION}
+        observations = {k[1] for k in CLASSIFICATION}
+        assert mechanisms == {"contention", "reuse"}
+        assert observations == {"access-driven", "timing-driven"}

@@ -1,0 +1,140 @@
+"""Tests for the cache collision attacks.
+
+Full-fidelity attack runs need tens of thousands of measurements (the
+benchmarks do that); the unit tests here exercise the machinery against
+a *rigged* victim whose timing dip is strong enough to recover in a few
+hundred measurements.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks.collision import (
+    FinalRoundCollisionAttack,
+    FirstRoundCollisionAttack,
+    _TimingAccumulator,
+)
+from repro.crypto.aes import AES128
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+class RiggedVictim:
+    """AES victim with an exaggerated, noise-free collision signal.
+
+    Time = base - DIP for every final-round pair (i, j) whose lookups
+    collide exactly (c_i ^ c_j == k10_i ^ k10_j), plus small noise.
+    """
+
+    def __init__(self, key=KEY, dip=50, noise=3, seed=0):
+        from repro.crypto.traced_aes import TracedAES128
+        self.aes = TracedAES128(key)
+        self.dip = dip
+        self._rng = random.Random(seed)
+        self.noise = noise
+
+    def measure(self, plaintext):
+        ct, _ = self.aes.encrypt_block_traced(plaintext)
+        k10 = self.true_final_round_key()
+        time = 1000 + self._rng.gauss(0, self.noise)
+        for j in range(1, 16):
+            if ct[0] ^ ct[j] == k10[0] ^ k10[j]:
+                time -= self.dip
+        return ct, time
+
+    def true_final_round_key(self):
+        return b"".join(w.to_bytes(4, "big")
+                        for w in self.aes.round_keys[40:44])
+
+    def true_key_byte_xor(self, i, j):
+        k10 = self.true_final_round_key()
+        return k10[i] ^ k10[j]
+
+    def true_first_round_xor_nibble(self, i, j):
+        key = b"".join(w.to_bytes(4, "big") for w in self.aes.round_keys[:4])
+        return (key[i] ^ key[j]) >> 4
+
+
+class TestTimingAccumulator:
+    def test_argmin(self):
+        acc = _TimingAccumulator(4)
+        for bucket, value in ((0, 10), (1, 5), (2, 10), (3, 10)):
+            acc.add(bucket, value)
+        assert acc.argmin() == 1
+
+    def test_averages_nan_for_empty(self):
+        acc = _TimingAccumulator(2)
+        acc.add(0, 4)
+        avgs = acc.averages()
+        assert avgs[0] == 4
+        assert avgs[1] != avgs[1]  # NaN
+
+    def test_separation(self):
+        acc = _TimingAccumulator(3)
+        for bucket, value in ((0, 10), (1, 10), (2, 1)):
+            acc.add(bucket, value)
+        assert acc.separation_sigmas() > 0.5
+
+
+class TestFinalRoundAttack:
+    def test_recovers_key_xor_on_rigged_victim(self):
+        attack = FinalRoundCollisionAttack(RiggedVictim(), seed=1)
+        result = attack.run(max_measurements=4000, check_every=2000)
+        assert result.success
+        assert result.correct_pairs == 15
+        for est in result.pairs:
+            assert est.recovered == est.true_value
+
+    def test_timing_characteristic_dips_at_true_value(self):
+        attack = FinalRoundCollisionAttack(RiggedVictim(), pairs=[(0, 1)],
+                                           seed=2)
+        attack.collect(3000)
+        curve = attack.timing_characteristic((0, 1))
+        assert len(curve) == 256
+        true = attack.victim.true_key_byte_xor(0, 1)
+        dips = min(curve, key=lambda p: p[1])
+        assert dips[0] == true
+
+    def test_cap_respected(self):
+        class NoisyVictim(RiggedVictim):
+            def measure(self, plaintext):
+                ct, _ = super().measure(plaintext)
+                return ct, self._rng.gauss(1000, 50)  # no signal
+
+        attack = FinalRoundCollisionAttack(NoisyVictim(), seed=3)
+        result = attack.run(max_measurements=600, check_every=300)
+        assert result.measurements == 600
+
+    def test_validation(self):
+        attack = FinalRoundCollisionAttack(RiggedVictim(), seed=1)
+        with pytest.raises(ValueError):
+            attack.run(max_measurements=0)
+
+
+class TestFirstRoundAttack:
+    def test_rejects_cross_table_pairs(self):
+        with pytest.raises(ValueError):
+            FirstRoundCollisionAttack(RiggedVictim(), pairs=[(0, 1)])
+
+    def test_accepts_same_table_pairs(self):
+        attack = FirstRoundCollisionAttack(RiggedVictim(),
+                                           pairs=[(0, 4), (1, 13)])
+        assert attack.pairs == [(0, 4), (1, 13)]
+
+    def test_recovers_nibble_on_rigged_first_round_victim(self):
+        class FirstRoundRigged(RiggedVictim):
+            def measure(self, plaintext):
+                ct, _ = self.aes.encrypt_block_traced(plaintext)
+                time = 1000 + self._rng.gauss(0, self.noise)
+                key = b"".join(w.to_bytes(4, "big")
+                               for w in self.aes.round_keys[:4])
+                for i, j in ((0, 4), (0, 8), (0, 12), (1, 5), (2, 6), (3, 7)):
+                    if (plaintext[i] ^ plaintext[j]) >> 4 == \
+                            (key[i] ^ key[j]) >> 4:
+                        time -= self.dip
+                return ct, time
+
+        attack = FirstRoundCollisionAttack(FirstRoundRigged(), seed=4)
+        result = attack.run(max_measurements=3000, check_every=1500)
+        assert result.success

@@ -1,0 +1,47 @@
+"""Tests for the Equation (5) measurement model."""
+
+import math
+
+import pytest
+
+from repro.attacks.stats import measurements_needed, signal_to_noise
+
+
+class TestMeasurementsNeeded:
+    def test_zero_signal_needs_infinite(self):
+        assert measurements_needed(0.0, 21, 1, 50.0) == math.inf
+
+    def test_scales_inverse_square(self):
+        n1 = measurements_needed(0.6, 21, 1, 50.0)
+        n2 = measurements_needed(0.3, 21, 1, 50.0)
+        assert n2 == pytest.approx(4 * n1)
+
+    def test_more_noise_needs_more(self):
+        assert measurements_needed(0.5, 21, 1, 100.0) > \
+            measurements_needed(0.5, 21, 1, 50.0)
+
+    def test_higher_confidence_needs_more(self):
+        assert measurements_needed(0.5, 21, 1, 50.0, alpha=0.999) > \
+            measurements_needed(0.5, 21, 1, 50.0, alpha=0.9)
+
+    def test_plausible_magnitude(self):
+        # P1-P2=0.65, 20-cycle gap, sigma 50: tens of thousands
+        n = measurements_needed(0.65, 21, 1, 50.0)
+        assert 10 < n < 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measurements_needed(0.5, 21, 1, 0.0)
+        with pytest.raises(ValueError):
+            measurements_needed(0.5, 1, 21, 50.0)
+        with pytest.raises(ValueError):
+            measurements_needed(0.5, 21, 1, 50.0, alpha=0.4)
+
+
+class TestSnr:
+    def test_equation4(self):
+        assert signal_to_noise(0.5, 21, 1, 10.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            signal_to_noise(0.5, 21, 1, 0.0)

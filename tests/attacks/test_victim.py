@@ -1,0 +1,95 @@
+"""Tests for the attack victim processes."""
+
+import pytest
+
+from repro.attacks.victim import (
+    AesTimingVictim,
+    CleaningConfig,
+    TableLookupVictim,
+)
+from repro.cache.hierarchy import build_hierarchy
+from repro.crypto.aes import AES128
+from repro.secure.newcache import Newcache
+from repro.secure.region import ProtectedRegion
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def make_victim(**kwargs):
+    h = build_hierarchy()
+    return AesTimingVictim(h.l1, KEY, **kwargs)
+
+
+class TestAesVictim:
+    def test_measure_returns_correct_ciphertext(self):
+        victim = make_victim()
+        pt = bytes(range(16))
+        ct, cycles = victim.measure(pt)
+        assert ct == AES128(KEY).encrypt_block(pt)
+        assert cycles > 0
+
+    def test_flush_cleaning_removes_l1_state(self):
+        victim = make_victim(cleaning=CleaningConfig(strategy="flush"))
+        victim.measure(bytes(16))
+        victim.clean_cache()
+        assert victim.l1.tag_store.occupancy() == 0
+
+    def test_evict_cleaning_displaces_sa_cache(self):
+        victim = make_victim(cleaning=CleaningConfig(strategy="evict"))
+        victim.measure(bytes(16))
+        victim.clean_cache()
+        table_line = victim.layout.enc_table_base // 64
+        assert not victim.l1.tag_store.probe(table_line)
+
+    def test_evict_cleaning_leaves_newcache_residue(self):
+        """Random replacement makes Newcache hard to clean (Table III)."""
+        h = build_hierarchy(l1_tag_store=Newcache(32 * 1024, seed=3))
+        victim = AesTimingVictim(
+            h.l1, KEY, cleaning=CleaningConfig(strategy="evict",
+                                               buffer_factor=1))
+        victim.measure(bytes(16))
+        victim.clean_cache()
+        residue = sum(1 for line in victim.layout.enc_regions().regions[0].lines
+                      if victim.l1.tag_store.probe(line))
+        # a single-pass eviction walk leaves victim lines behind
+        assert residue >= 0  # smoke: no crash; strict check below
+        total = sum(1 for region in victim.layout.enc_regions()
+                    for line in region.lines
+                    if victim.l1.tag_store.probe(line))
+        assert total > 0
+
+    def test_true_key_helpers(self):
+        victim = make_victim()
+        k10 = victim.true_final_round_key()
+        assert len(k10) == 16
+        assert victim.true_key_byte_xor(0, 1) == k10[0] ^ k10[1]
+        nib = victim.true_first_round_xor_nibble(0, 4)
+        assert nib == (KEY[0] ^ KEY[4]) >> 4
+
+    def test_cleaning_config_validation(self):
+        with pytest.raises(ValueError):
+            CleaningConfig(strategy="voodoo")
+        with pytest.raises(ValueError):
+            CleaningConfig(buffer_factor=0)
+
+
+class TestTableLookupVictim:
+    def test_run_once(self):
+        h = build_hierarchy()
+        region = ProtectedRegion(0x10000, 1024)
+        victim = TableLookupVictim(h.l1, region, noise_refs=4)
+        result = victim.run_once(3)
+        assert result.l1_accesses == 9  # 4 noise + 1 secret + 4 noise
+
+    def test_secret_bounds(self):
+        h = build_hierarchy()
+        victim = TableLookupVictim(h.l1, ProtectedRegion(0x10000, 1024))
+        with pytest.raises(ValueError):
+            victim.run_once(16)
+        with pytest.raises(ValueError):
+            victim.run_once(-1)
+
+    def test_noise_validation(self):
+        h = build_hierarchy()
+        with pytest.raises(ValueError):
+            TableLookupVictim(h.l1, ProtectedRegion(0, 64), noise_refs=-1)

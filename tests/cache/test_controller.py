@@ -1,0 +1,158 @@
+"""Tests for the L1 controller with pluggable fill strategies."""
+
+import pytest
+
+from repro.cache.context import AccessContext, DEFAULT_CONTEXT
+from repro.cache.controller import (
+    DemandFetchPolicy,
+    FillPolicy,
+    L1Controller,
+    MissPlan,
+)
+from repro.cache.hierarchy import build_hierarchy
+from repro.cache.mshr import RequestType
+
+
+def make_l1(**kwargs):
+    return build_hierarchy(**kwargs).l1
+
+
+class StubNofillPolicy(FillPolicy):
+    """NOFILL every miss + one fixed extra fill request."""
+
+    def __init__(self, extra):
+        self.extra = extra
+
+    def on_miss(self, line_addr, ctx):
+        return MissPlan(RequestType.NOFILL, (self.extra,))
+
+
+class TestDemandFetch:
+    def test_miss_fills_after_completion(self):
+        l1 = make_l1()
+        r = l1.access(0, now=0)
+        assert not r.l1_hit
+        # after the data returns, the line is installed
+        r2 = l1.access(0, now=r.ready_at + 1)
+        assert r2.l1_hit
+
+    def test_merge_while_in_flight(self):
+        l1 = make_l1()
+        r1 = l1.access(0, now=0)
+        r2 = l1.access(8, now=1)  # same line
+        assert r2.merged
+        assert r2.ready_at >= r1.ready_at
+
+    def test_hit_latency(self):
+        l1 = make_l1()
+        r = l1.access(0, now=0)
+        r2 = l1.access(0, now=r.ready_at + 5)
+        assert r2.ready_at == r.ready_at + 5 + l1.hit_latency
+
+    def test_mshr_full_stalls(self):
+        l1 = make_l1(mshr_entries=2)
+        l1.access(0 * 64, now=0)
+        l1.access(1 * 64, now=0)
+        r = l1.access(2 * 64, now=0)
+        assert r.stalled_for_mshr > 0
+
+    def test_line_addr_reported(self):
+        l1 = make_l1()
+        assert l1.access(130, now=0).line_addr == 2
+
+
+class TestNofill:
+    def test_demand_line_not_installed(self):
+        l1 = make_l1()
+        l1.policy = StubNofillPolicy(extra=500)
+        r = l1.access(0, now=0)
+        l1.access(64 * 99, now=r.ready_at + 1000)  # drive drain forward
+        assert not l1.tag_store.probe(0)
+
+    def test_extra_line_installed(self):
+        l1 = make_l1()
+        l1.policy = StubNofillPolicy(extra=500)
+        r = l1.access(0, now=0)
+        l1.access(64 * 99, now=r.ready_at + 1000)
+        l1.settle()
+        assert l1.tag_store.probe(500)
+
+    def test_fill_request_dropped_when_resident(self):
+        l1 = make_l1()
+        l1.tag_store.fill(500)
+        l1.policy = StubNofillPolicy(extra=500)
+        l1.access(0, now=0)
+        assert l1.stats.random_fill_dropped >= 1
+        assert l1.stats.random_fill_issued == 0
+
+    def test_negative_fill_line_dropped(self):
+        l1 = make_l1()
+        l1.policy = StubNofillPolicy(extra=-3)
+        l1.access(0, now=0)
+        assert l1.stats.random_fill_dropped == 1
+
+    def test_nofill_upgraded_by_fill_request_for_same_line(self):
+        l1 = make_l1()
+        l1.policy = StubNofillPolicy(extra=0)  # fill targets the demand line
+        r = l1.access(0, now=0)
+        l1.settle()
+        assert l1.tag_store.probe(0)  # upgraded entry installed the line
+
+
+class TestBypass:
+    def test_bypass_policy(self):
+        class BypassAll(FillPolicy):
+            def bypass(self, line_addr, ctx):
+                return True
+
+            def on_miss(self, line_addr, ctx):  # pragma: no cover
+                raise AssertionError("bypassed accesses never call on_miss")
+
+        l1 = make_l1()
+        l1.policy = BypassAll()
+        r = l1.access(0, now=0)
+        assert r.bypassed
+        assert not l1.tag_store.probe(0)
+        # repeated access still bypasses (no caching)
+        r2 = l1.access(0, now=r.ready_at)
+        assert r2.bypassed
+
+
+class TestHousekeeping:
+    def test_flush_clears_everything(self):
+        l1 = make_l1()
+        l1.access(0, now=0)
+        l1.flush()
+        assert len(l1.miss_queue) == 0
+        assert l1.tag_store.occupancy() == 0
+
+    def test_settle_completes_in_flight(self):
+        l1 = make_l1()
+        l1.access(0, now=0)
+        l1.settle()
+        assert len(l1.miss_queue) == 0
+        assert l1.tag_store.probe(0)
+
+    def test_stats_counters(self):
+        l1 = make_l1()
+        r = l1.access(0, now=0)
+        l1.access(0, now=r.ready_at + 1)
+        assert l1.stats.accesses == 2
+        assert l1.stats.hits == 1
+        assert l1.stats.demand_misses == 1
+
+    def test_reset_stats(self):
+        l1 = make_l1()
+        l1.access(0, now=0)
+        l1.reset_stats()
+        assert l1.stats.accesses == 0
+
+
+class TestFillReserve:
+    def test_single_mshr_has_no_reserve(self):
+        l1 = make_l1(mshr_entries=1)
+        assert l1.fill_reserve == 0
+
+    def test_multi_mshr_reserves_one(self):
+        l1 = make_l1(mshr_entries=4)
+        assert l1.fill_reserve == 1

@@ -1,0 +1,39 @@
+"""Tests for hierarchy assembly."""
+
+from repro.cache.hierarchy import build_hierarchy
+from repro.cache.set_associative import SetAssociativeCache
+from repro.secure.newcache import Newcache
+
+
+class TestBuild:
+    def test_defaults_match_table_iv(self):
+        h = build_hierarchy()
+        assert h.l1.tag_store.capacity_lines == 32 * 1024 // 64
+        assert h.l2.tag_store.capacity_lines == 2 * 1024 * 1024 // 64
+        assert h.l2.hit_latency == 20
+        assert h.l1.miss_queue.capacity == 4
+
+    def test_custom_tag_store(self):
+        nc = Newcache(8 * 1024, seed=1)
+        h = build_hierarchy(l1_tag_store=nc)
+        assert h.l1.tag_store is nc
+
+    def test_flush_all(self):
+        h = build_hierarchy()
+        r = h.l1.access(0, now=0)
+        h.l1.access(0, now=r.ready_at + 1)
+        h.flush_all()
+        assert h.l1.tag_store.occupancy() == 0
+        assert not h.l2.probe(0)
+
+    def test_reset_stats(self):
+        h = build_hierarchy()
+        h.l1.access(0, now=0)
+        h.reset_stats()
+        assert h.l1.stats.accesses == 0
+        assert h.l2.stats.accesses == 0
+
+    def test_l1_miss_reaches_l2(self):
+        h = build_hierarchy()
+        h.l1.access(0, now=0)
+        assert h.l2.stats.accesses == 1

@@ -1,0 +1,46 @@
+"""Tests for the L2 cache controller."""
+
+from repro.cache.l2 import L2Cache
+
+
+class TestL2:
+    def test_hit_latency(self):
+        l2 = L2Cache()
+        l2.tag_store.fill(5)
+        assert l2.access(5, now=100) == 120
+
+    def test_miss_goes_to_dram(self):
+        l2 = L2Cache()
+        done = l2.access(5, now=0)
+        assert done > l2.hit_latency
+        assert l2.stats.demand_misses == 1
+        assert l2.dram.lines_transferred == 1
+
+    def test_miss_fills_by_default(self):
+        l2 = L2Cache()
+        l2.access(5, now=0)
+        assert l2.probe(5)
+
+    def test_fill_false_leaves_absent(self):
+        l2 = L2Cache()
+        l2.access(5, now=0, fill=False)
+        assert not l2.probe(5)
+
+    def test_flush(self):
+        l2 = L2Cache()
+        l2.access(5, now=0)
+        l2.flush()
+        assert not l2.probe(5)
+
+    def test_reset_stats(self):
+        l2 = L2Cache()
+        l2.access(5, now=0)
+        l2.reset_stats()
+        assert l2.stats.accesses == 0
+        assert l2.dram.lines_transferred == 0
+
+    def test_capacity_evictions(self):
+        l2 = L2Cache(size_bytes=8 * 64, associativity=2)
+        for line in range(0, 32, 4):  # all map to set 0 (4 sets)
+            l2.access(line, now=0)
+        assert l2.stats.evictions > 0

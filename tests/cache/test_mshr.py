@@ -1,0 +1,95 @@
+"""Tests for the miss queue (MSHR file)."""
+
+import pytest
+
+from repro.cache.context import DEFAULT_CONTEXT
+from repro.cache.mshr import MissQueue, RequestType
+
+
+def fills_collected():
+    filled = []
+    return filled, lambda line, ctx: filled.append(line)
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        q = MissQueue(4)
+        q.allocate(10, 100, RequestType.NORMAL, DEFAULT_CONTEXT)
+        assert q.lookup(10) is not None
+        assert q.lookup(11) is None
+
+    def test_capacity(self):
+        q = MissQueue(2)
+        q.allocate(1, 10, RequestType.NORMAL, DEFAULT_CONTEXT)
+        assert not q.full
+        q.allocate(2, 20, RequestType.NORMAL, DEFAULT_CONTEXT)
+        assert q.full
+        with pytest.raises(RuntimeError):
+            q.allocate(3, 30, RequestType.NORMAL, DEFAULT_CONTEXT)
+
+    def test_duplicate_rejected(self):
+        q = MissQueue(4)
+        q.allocate(1, 10, RequestType.NORMAL, DEFAULT_CONTEXT)
+        with pytest.raises(RuntimeError):
+            q.allocate(1, 20, RequestType.NORMAL, DEFAULT_CONTEXT)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MissQueue(0)
+
+
+class TestDrain:
+    def test_drains_completed_only(self):
+        q = MissQueue(4)
+        filled, cb = fills_collected()
+        q.allocate(1, 10, RequestType.NORMAL, DEFAULT_CONTEXT)
+        q.allocate(2, 50, RequestType.NORMAL, DEFAULT_CONTEXT)
+        assert q.drain(20, cb) == 1
+        assert filled == [1]
+        assert q.lookup(2) is not None
+
+    def test_completion_order(self):
+        q = MissQueue(4)
+        filled, cb = fills_collected()
+        q.allocate(1, 30, RequestType.NORMAL, DEFAULT_CONTEXT)
+        q.allocate(2, 10, RequestType.NORMAL, DEFAULT_CONTEXT)
+        q.drain(100, cb)
+        assert filled == [2, 1]
+
+    def test_nofill_does_not_fill(self):
+        q = MissQueue(4)
+        filled, cb = fills_collected()
+        q.allocate(1, 10, RequestType.NOFILL, DEFAULT_CONTEXT)
+        q.allocate(2, 10, RequestType.RANDOM_FILL, DEFAULT_CONTEXT)
+        q.drain(100, cb)
+        assert filled == [2]
+
+    def test_drain_empty(self):
+        q = MissQueue(4)
+        _, cb = fills_collected()
+        assert q.drain(100, cb) == 0
+
+
+class TestMisc:
+    def test_earliest_completion(self):
+        q = MissQueue(4)
+        q.allocate(1, 30, RequestType.NORMAL, DEFAULT_CONTEXT)
+        q.allocate(2, 10, RequestType.NORMAL, DEFAULT_CONTEXT)
+        assert q.earliest_completion() == 10
+
+    def test_earliest_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            MissQueue(2).earliest_completion()
+
+    def test_flush(self):
+        q = MissQueue(2)
+        q.allocate(1, 10, RequestType.NORMAL, DEFAULT_CONTEXT)
+        q.flush()
+        assert len(q) == 0
+
+    def test_request_type_fill_semantics(self):
+        q = MissQueue(4)
+        e = q.allocate(1, 10, RequestType.NOFILL, DEFAULT_CONTEXT)
+        assert not e.fills_cache
+        e2 = q.allocate(2, 10, RequestType.NORMAL, DEFAULT_CONTEXT)
+        assert e2.fills_cache

@@ -1,0 +1,92 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.cache.tagstore import LineState
+from repro.util.rng import HardwareRng
+
+
+def make_set(*lines):
+    return [LineState(line) for line in lines]
+
+
+class TestLru:
+    def test_hit_moves_to_front(self):
+        policy = LruPolicy()
+        s = make_set(1, 2, 3)
+        policy.on_hit(s, 2)
+        assert [l.line_addr for l in s] == [3, 1, 2]
+
+    def test_fill_inserts_mru(self):
+        policy = LruPolicy()
+        s = make_set(1, 2)
+        policy.on_fill(s, LineState(9))
+        assert s[0].line_addr == 9
+
+    def test_victim_is_lru(self):
+        policy = LruPolicy()
+        s = make_set(1, 2, 3)
+        assert policy.choose_victim(s, [0, 1, 2]) == 2
+
+    def test_victim_respects_evictable(self):
+        policy = LruPolicy()
+        s = make_set(1, 2, 3)
+        assert policy.choose_victim(s, [0, 1]) == 1
+
+    def test_no_evictable_returns_none(self):
+        policy = LruPolicy()
+        assert policy.choose_victim(make_set(1), []) is None
+
+
+class TestFifo:
+    def test_hit_does_not_reorder(self):
+        policy = FifoPolicy()
+        s = make_set(1, 2, 3)
+        policy.on_hit(s, 2)
+        assert [l.line_addr for l in s] == [1, 2, 3]
+
+    def test_victim_is_oldest(self):
+        policy = FifoPolicy()
+        s = make_set(1, 2, 3)
+        assert policy.choose_victim(s, [0, 1, 2]) == 2
+
+
+class TestRandom:
+    def test_victim_among_evictable(self):
+        policy = RandomPolicy(HardwareRng(5))
+        s = make_set(1, 2, 3, 4)
+        for _ in range(100):
+            assert policy.choose_victim(s, [1, 3]) in (1, 3)
+
+    def test_covers_all_candidates(self):
+        policy = RandomPolicy(HardwareRng(6))
+        s = make_set(1, 2, 3, 4)
+        seen = {policy.choose_victim(s, [0, 1, 2, 3]) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_empty_returns_none(self):
+        policy = RandomPolicy(HardwareRng(7))
+        assert policy.choose_victim(make_set(1), []) is None
+
+
+class TestFactory:
+    def test_lru(self):
+        assert isinstance(make_policy("lru"), LruPolicy)
+
+    def test_fifo(self):
+        assert isinstance(make_policy("fifo"), FifoPolicy)
+
+    def test_random_needs_rng(self):
+        with pytest.raises(ValueError):
+            make_policy("random")
+        assert isinstance(make_policy("random", HardwareRng(1)), RandomPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")

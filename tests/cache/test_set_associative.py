@@ -1,0 +1,161 @@
+"""Tests for the set-associative tag store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.context import AccessContext
+from repro.cache.set_associative import SetAssociativeCache
+
+
+def make_cache(size=4096, assoc=4, line=64):
+    return SetAssociativeCache(size, assoc, line)
+
+
+class TestBasics:
+    def test_miss_then_hit_after_fill(self):
+        c = make_cache()
+        assert not c.access(10)
+        c.fill(10)
+        assert c.access(10)
+
+    def test_probe_does_not_perturb_lru(self):
+        c = SetAssociativeCache(2 * 64, 2, 64)  # one set, two ways
+        c.fill(0)
+        c.fill(2)   # same set (num_sets=1)
+        c.probe(0)  # must NOT refresh line 0
+        c.fill(4)   # evicts LRU
+        assert not c.probe(0)
+        assert c.probe(2) and c.probe(4)
+
+    def test_lru_eviction_order(self):
+        c = SetAssociativeCache(2 * 64, 2, 64)
+        c.fill(0)
+        c.fill(2)
+        c.access(0)          # 0 becomes MRU
+        evicted = c.fill(4)
+        assert evicted == 2
+
+    def test_fill_existing_line_is_noop(self):
+        c = make_cache()
+        c.fill(5)
+        assert c.fill(5) is None
+        assert c.occupancy() == 1
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.fill(7)
+        assert c.invalidate(7)
+        assert not c.invalidate(7)
+        assert not c.probe(7)
+
+    def test_flush(self):
+        c = make_cache()
+        for i in range(10):
+            c.fill(i)
+        c.flush()
+        assert c.occupancy() == 0
+
+    def test_resident_lines(self):
+        c = make_cache()
+        for i in (1, 2, 3):
+            c.fill(i)
+        assert sorted(c.resident_lines()) == [1, 2, 3]
+
+    def test_direct_mapped_conflicts(self):
+        c = SetAssociativeCache(4 * 64, 1, 64)  # 4 sets, DM
+        c.fill(0)
+        assert c.fill(4) == 0  # same set, evicts
+
+    def test_set_contents_mru_first(self):
+        c = SetAssociativeCache(2 * 64, 2, 64)
+        c.fill(0)
+        c.fill(2)
+        assert c.set_contents(0) == [2, 0]
+
+
+class TestGeometryValidation:
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 4, 64)
+
+    def test_zero_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 1, 64)
+
+
+class TestLocking:
+    def test_locking_access_sets_bit(self):
+        c = make_cache()
+        c.fill(3)
+        c.access(3, AccessContext(thread_id=1, lock=True))
+        assert c.line_state(3).locked
+
+    def test_fill_with_lock(self):
+        c = make_cache()
+        c.fill(3, AccessContext(thread_id=2, lock=True))
+        state = c.line_state(3)
+        assert state.locked and state.owner == 2
+
+    def test_unlock(self):
+        c = make_cache()
+        ctx = AccessContext(thread_id=1, lock=True)
+        c.fill(3, ctx)
+        c.access(3, AccessContext(thread_id=1, unlock=True))
+        assert not c.line_state(3).locked
+
+    def test_unlock_by_other_owner_ignored(self):
+        c = make_cache()
+        c.fill(3, AccessContext(thread_id=1, lock=True))
+        c.access(3, AccessContext(thread_id=2, unlock=True))
+        assert c.line_state(3).locked
+
+    def test_locked_line_immune_to_normal_eviction(self):
+        c = SetAssociativeCache(2 * 64, 2, 64)
+        c.fill(0, AccessContext(thread_id=1, lock=True))
+        c.fill(2)
+        # set full: one locked, one normal; normal line is the victim
+        evicted = c.fill(4)
+        assert evicted == 2
+        assert c.probe(0)
+
+    def test_all_locked_refuses_fill(self):
+        c = SetAssociativeCache(2 * 64, 2, 64)
+        lock = AccessContext(thread_id=1, lock=True)
+        c.fill(0, lock)
+        c.fill(2, lock)
+        # normal access cannot displace locked lines
+        assert c.fill(4) is None
+        assert not c.probe(4)
+
+    def test_owner_locking_access_can_displace_own_locked(self):
+        c = SetAssociativeCache(2 * 64, 2, 64)
+        lock = AccessContext(thread_id=1, lock=True)
+        c.fill(0, lock)
+        c.fill(2, lock)
+        evicted = c.fill(4, lock)
+        assert evicted in (0, 2)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=200))
+def test_occupancy_never_exceeds_capacity(lines):
+    c = SetAssociativeCache(8 * 64, 2, 64)
+    for line in lines:
+        if not c.access(line):
+            c.fill(line)
+    assert c.occupancy() <= 8
+    # every set respects associativity
+    for s in range(4):
+        assert len(c.set_contents(s)) <= 2
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                max_size=100))
+def test_most_recent_fill_is_resident(lines):
+    c = SetAssociativeCache(4 * 64, 2, 64)
+    for line in lines:
+        if not c.access(line):
+            c.fill(line)
+    assert c.probe(lines[-1])

@@ -1,0 +1,67 @@
+"""Tests for the random fill engine."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import RandomFillEngine
+from repro.core.window import RandomFillWindow
+from repro.util.rng import HardwareRng
+
+
+def make_engine(seed=0):
+    return RandomFillEngine(HardwareRng(seed))
+
+
+class TestRegisters:
+    def test_default_disabled(self):
+        engine = make_engine()
+        assert engine.window_for(0).disabled
+
+    def test_per_thread_isolation(self):
+        engine = make_engine()
+        engine.set_window(0, RandomFillWindow(4, 3))
+        assert engine.window_for(1).disabled
+        assert engine.window_for(0) == RandomFillWindow(4, 3)
+
+    def test_range_registers_encoding(self):
+        engine = make_engine()
+        engine.set_window(0, RandomFillWindow(4, 3))
+        assert engine.range_registers(0) == (0b11111100, 0b00000111)
+
+
+class TestGeneration:
+    def test_offsets_within_pow2_window(self):
+        engine = make_engine(1)
+        engine.set_window(0, RandomFillWindow(16, 15))
+        for _ in range(2000):
+            assert -16 <= engine.random_offset(0) <= 15
+
+    def test_offsets_within_arbitrary_window(self):
+        engine = make_engine(2)
+        engine.set_window(0, RandomFillWindow(5, 7))  # size 13, not pow2
+        for _ in range(2000):
+            assert -5 <= engine.random_offset(0) <= 7
+
+    def test_generate_adds_demand_line(self):
+        engine = make_engine(3)
+        engine.set_window(0, RandomFillWindow(2, 1))
+        for _ in range(200):
+            assert 98 <= engine.generate(100, 0) <= 101
+
+    def test_uniform_coverage(self):
+        engine = make_engine(4)
+        engine.set_window(0, RandomFillWindow(4, 3))
+        counts = Counter(engine.random_offset(0) for _ in range(8000))
+        assert set(counts) == set(range(-4, 4))
+        assert min(counts.values()) > 700
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=32),
+           st.integers(min_value=0, max_value=32),
+           st.integers(min_value=0, max_value=2**20))
+    def test_generated_line_always_in_window(self, a, b, line):
+        engine = make_engine(5)
+        engine.set_window(0, RandomFillWindow(a, b))
+        fill = engine.generate(line, 0)
+        assert line - a <= fill <= line + b

@@ -1,0 +1,37 @@
+"""Tests for the random fill policy."""
+
+from repro.cache.context import AccessContext
+from repro.cache.mshr import RequestType
+from repro.core.engine import RandomFillEngine
+from repro.core.policy import RandomFillPolicy
+from repro.core.window import RandomFillWindow
+from repro.util.rng import HardwareRng
+
+
+def make_policy(seed=0):
+    engine = RandomFillEngine(HardwareRng(seed))
+    return RandomFillPolicy(engine), engine
+
+
+class TestRandomFillPolicy:
+    def test_disabled_window_degrades_to_demand_fetch(self):
+        policy, _ = make_policy()
+        plan = policy.on_miss(100, AccessContext())
+        assert plan.demand_type is RequestType.NORMAL
+        assert plan.random_fill_lines == ()
+
+    def test_enabled_window_nofill_plus_one_request(self):
+        policy, engine = make_policy()
+        engine.set_window(0, RandomFillWindow(16, 15))
+        plan = policy.on_miss(100, AccessContext())
+        assert plan.demand_type is RequestType.NOFILL
+        assert len(plan.random_fill_lines) == 1
+        assert 84 <= plan.random_fill_lines[0] <= 115
+
+    def test_window_selected_by_thread(self):
+        policy, engine = make_policy()
+        engine.set_window(1, RandomFillWindow(2, 1))
+        assert policy.on_miss(5, AccessContext(thread_id=0)).demand_type \
+            is RequestType.NORMAL
+        assert policy.on_miss(5, AccessContext(thread_id=1)).demand_type \
+            is RequestType.NOFILL

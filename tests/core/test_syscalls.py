@@ -1,0 +1,91 @@
+"""Tests for the Table II system calls and PCB context switching."""
+
+import pytest
+
+from repro.core.engine import RandomFillEngine
+from repro.core.syscalls import RandomFillOS
+from repro.core.window import RandomFillWindow
+from repro.util.rng import HardwareRng
+
+
+def make_os():
+    return RandomFillOS(RandomFillEngine(HardwareRng(0)))
+
+
+class TestSyscalls:
+    def test_set_rr(self):
+        os = make_os()
+        os.set_rr(16, 15)
+        assert os.engine.window_for(0) == RandomFillWindow(16, 15)
+
+    def test_set_window_pow2(self):
+        os = make_os()
+        os.set_window(-16, 5)
+        assert os.engine.window_for(0) == RandomFillWindow(16, 15)
+
+    def test_disable(self):
+        os = make_os()
+        os.set_rr(4, 3)
+        os.disable()
+        assert os.engine.window_for(0).disabled
+
+    def test_per_thread(self):
+        os = make_os()
+        os.set_rr(4, 3, thread_id=1)
+        assert os.engine.window_for(0).disabled
+        assert os.engine.window_for(1) == RandomFillWindow(4, 3)
+
+
+class TestProcesses:
+    def test_create_and_schedule(self):
+        os = make_os()
+        os.create_process(1)
+        os.schedule(1)
+        assert os.running_pid(0) == 1
+
+    def test_duplicate_pid(self):
+        os = make_os()
+        os.create_process(1)
+        with pytest.raises(ValueError):
+            os.create_process(1)
+
+    def test_unknown_pid(self):
+        os = make_os()
+        with pytest.raises(KeyError):
+            os.pcb(9)
+        with pytest.raises(KeyError):
+            os.running_pid(0)
+
+    def test_context_switch_saves_and_restores(self):
+        os = make_os()
+        os.create_process(1)
+        os.create_process(2)
+        os.schedule(1)
+        os.set_rr(16, 15)                 # process 1's window
+        os.context_switch(1, 2)
+        assert os.engine.window_for(0).disabled  # process 2 default
+        os.set_rr(2, 1)                   # process 2's window
+        os.context_switch(2, 1)
+        assert os.engine.window_for(0) == RandomFillWindow(16, 15)
+        assert os.pcb(2).window == RandomFillWindow(2, 1)
+
+    def test_context_switch_wrong_outgoing(self):
+        os = make_os()
+        os.create_process(1)
+        os.create_process(2)
+        os.schedule(1)
+        with pytest.raises(ValueError):
+            os.context_switch(2, 1)
+
+    def test_attacker_cannot_change_victim_window(self):
+        """Section VIII: the attacker cannot set the victim's window."""
+        os = make_os()
+        os.create_process(1)  # victim
+        os.create_process(2)  # attacker
+        os.schedule(1)
+        os.set_rr(16, 15)
+        os.context_switch(1, 2)
+        os.set_rr(0, 0)       # attacker zeroes its own registers
+        os.context_switch(2, 1)
+        # victim's window is restored intact from its PCB
+        assert os.engine.window_for(0) == RandomFillWindow(16, 15)

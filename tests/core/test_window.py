@@ -1,0 +1,102 @@
+"""Tests for the random fill window and register encoding (Figure 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.window import (
+    REGISTER_WIDTH,
+    RandomFillWindow,
+    decode_range_registers,
+    encode_range_registers,
+)
+
+
+class TestWindow:
+    def test_size(self):
+        assert RandomFillWindow(16, 15).size == 32
+
+    def test_disabled(self):
+        assert RandomFillWindow(0, 0).disabled
+        assert not RandomFillWindow(0, 1).disabled
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RandomFillWindow(-1, 0)
+        with pytest.raises(ValueError):
+            RandomFillWindow(0, -1)
+
+    def test_register_width_limit(self):
+        with pytest.raises(ValueError):
+            RandomFillWindow(129, 0)
+        with pytest.raises(ValueError):
+            RandomFillWindow(0, 128)
+
+    def test_contains_offset(self):
+        w = RandomFillWindow(4, 3)
+        assert w.contains_offset(-4)
+        assert w.contains_offset(3)
+        assert not w.contains_offset(-5)
+        assert not w.contains_offset(4)
+
+    def test_covers_table(self):
+        # Section V-A: a, b >= M - 1 closes the timing channel
+        assert RandomFillWindow(15, 15).covers_table(16)
+        assert not RandomFillWindow(15, 14).covers_table(16)
+
+    def test_is_power_of_two(self):
+        assert RandomFillWindow(16, 15).is_power_of_two
+        assert not RandomFillWindow(16, 14).is_power_of_two
+
+
+class TestConstructors:
+    def test_from_pow2_figure4_example(self):
+        # Figure 4: window [i-4, i+3] = lower bound -4, size 2^3
+        w = RandomFillWindow.from_pow2(-4, 3)
+        assert (w.a, w.b) == (4, 3)
+
+    def test_from_pow2_validation(self):
+        with pytest.raises(ValueError):
+            RandomFillWindow.from_pow2(1, 3)   # positive lower bound
+        with pytest.raises(ValueError):
+            RandomFillWindow.from_pow2(-8, 2)  # size too small
+        with pytest.raises(ValueError):
+            RandomFillWindow.from_pow2(0, -1)
+
+    def test_forward(self):
+        w = RandomFillWindow.forward(16)
+        assert (w.a, w.b) == (0, 15)
+        with pytest.raises(ValueError):
+            RandomFillWindow.forward(0)
+
+    def test_bidirectional(self):
+        w = RandomFillWindow.bidirectional(32)
+        assert (w.a, w.b) == (16, 15)
+        assert RandomFillWindow.bidirectional(1).disabled
+        with pytest.raises(ValueError):
+            RandomFillWindow.bidirectional(6)
+
+    def test_disabled_window(self):
+        assert RandomFillWindow.disabled_window().disabled
+
+
+class TestRegisterEncoding:
+    def test_figure4_bit_pattern(self):
+        # RR1 = -4 two's complement = 11111100, RR2 = 2^3-1 = 00000111
+        rr1, rr2 = encode_range_registers(RandomFillWindow(4, 3))
+        assert rr1 == 0b11111100
+        assert rr2 == 0b00000111
+
+    def test_disabled_encodes_zero(self):
+        assert encode_range_registers(RandomFillWindow(0, 0)) == (0, 0)
+
+    @given(st.integers(min_value=0, max_value=64),
+           st.integers(min_value=0, max_value=63))
+    def test_roundtrip(self, a, b):
+        w = RandomFillWindow(a, b)
+        rr1, rr2 = encode_range_registers(w)
+        decoded = decode_range_registers(rr1, rr2, pow2=w.is_power_of_two)
+        assert decoded == w
+
+    def test_decode_pow2(self):
+        assert decode_range_registers(0b11111100, 0b111) == \
+            RandomFillWindow(4, 3)

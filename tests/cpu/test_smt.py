@@ -1,0 +1,57 @@
+"""Tests for the SMT co-execution model."""
+
+import pytest
+
+from repro.cache.context import AccessContext
+from repro.cache.hierarchy import build_hierarchy
+from repro.cpu.smt import SmtThread, run_smt
+
+
+def thread(trace, tid=0, repeat=False):
+    return SmtThread(trace=trace, ctx=AccessContext(thread_id=tid),
+                     repeat=repeat)
+
+
+class TestRunSmt:
+    def test_single_thread(self):
+        h = build_hierarchy()
+        trace = [(i * 64, 4, 0) for i in range(100)]
+        results = run_smt(h.l1, [thread(trace)])
+        assert results[0].instructions == 400
+        assert results[0].ipc > 0
+
+    def test_two_threads_share_cache(self):
+        h = build_hierarchy()
+        t0 = [(0, 4, 0)] * 100
+        t1 = [(0, 4, 0)] * 100
+        results = run_smt(h.l1, [thread(t0, 0), thread(t1, 1)])
+        # the line is fetched once; both threads mostly hit
+        assert results[0].l1_demand_misses <= 2
+
+    def test_repeat_thread_runs_until_primary_done(self):
+        h = build_hierarchy()
+        primary = [(i * 64, 4, 0) for i in range(200)]
+        background = [(0x100000, 4, 0)] * 10
+        results = run_smt(h.l1, [thread(primary, 0),
+                                 thread(background, 1, repeat=True)])
+        assert results[1].instructions > 10 * 4  # looped at least once
+
+    def test_contention_slows_primary(self):
+        small = build_hierarchy(l1_size=4096, l1_assoc=1)
+        trace = [(i % 32 * 64, 4, 0) for i in range(4000)]
+        alone = run_smt(small.l1, [thread(trace, 0)])[0]
+        small2 = build_hierarchy(l1_size=4096, l1_assoc=1)
+        # A thrashing co-runner: large DRAM-bound footprint, dense refs.
+        hostile = [(0x800000 + (i % 16384) * 64, 1, 0) for i in range(4000)]
+        shared = run_smt(small2.l1, [thread(trace, 0),
+                                     thread(hostile, 1, repeat=True)])[0]
+        assert shared.cycles > alone.cycles
+
+    def test_validation(self):
+        h = build_hierarchy()
+        with pytest.raises(ValueError):
+            run_smt(h.l1, [])
+        with pytest.raises(ValueError):
+            run_smt(h.l1, [thread([(0, 1, 0)], repeat=True)])
+        with pytest.raises(ValueError):
+            SmtThread(trace=[], ctx=AccessContext())

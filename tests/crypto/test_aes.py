@@ -1,0 +1,129 @@
+"""Tests for the from-scratch AES-128 (FIPS-197 conformance)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES128, expand_decrypt_key, expand_key
+from repro.crypto.aes_tables import (
+    INV_SBOX,
+    SBOX,
+    TD0, TD1, TD2, TD3,
+    TE0, TE1, TE2, TE3, TE4,
+)
+
+FIPS_KEY = bytes(range(16))
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# Appendix B of FIPS-197 (a different key/plaintext pair)
+APPB_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+APPB_PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+APPB_CT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+
+class TestSbox:
+    def test_known_values(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_bijection(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse(self):
+        assert all(INV_SBOX[SBOX[x]] == x for x in range(256))
+
+
+class TestTables:
+    def test_te4_replicates_sbox(self):
+        assert all(TE4[x] == SBOX[x] * 0x01010101 for x in range(256))
+
+    def test_te_tables_are_rotations(self):
+        for x in range(256):
+            w = TE0[x]
+            assert TE1[x] == ((w >> 8) | (w << 24)) & 0xFFFFFFFF
+            assert TE2[x] == ((w >> 16) | (w << 16)) & 0xFFFFFFFF
+            assert TE3[x] == ((w >> 24) | (w << 8)) & 0xFFFFFFFF
+
+    def test_td_tables_are_rotations(self):
+        for x in (0, 17, 255):
+            w = TD0[x]
+            assert TD1[x] == ((w >> 8) | (w << 24)) & 0xFFFFFFFF
+            assert TD2[x] == ((w >> 16) | (w << 16)) & 0xFFFFFFFF
+            assert TD3[x] == ((w >> 24) | (w << 8)) & 0xFFFFFFFF
+
+    def test_table_sizes(self):
+        for table in (TE0, TE1, TE2, TE3, TE4, TD0, TD1, TD2, TD3):
+            assert len(table) == 256
+            assert all(0 <= w < 2**32 for w in table)
+
+
+class TestKeySchedule:
+    def test_fips_appendix_a(self):
+        rk = expand_key(APPB_KEY)
+        assert rk[4] == 0xA0FAFE17   # w4 of the FIPS-197 example
+        assert rk[43] == 0xB6630CA6  # final word
+
+    def test_length(self):
+        assert len(expand_key(FIPS_KEY)) == 44
+        assert len(expand_decrypt_key(FIPS_KEY)) == 44
+
+    def test_key_length_validation(self):
+        with pytest.raises(ValueError):
+            expand_key(b"short")
+
+
+class TestCipher:
+    def test_fips_c1_vector(self):
+        assert AES128(FIPS_KEY).encrypt_block(FIPS_PT) == FIPS_CT
+
+    def test_fips_appendix_b_vector(self):
+        assert AES128(APPB_KEY).encrypt_block(APPB_PT) == APPB_CT
+
+    def test_decrypt_vectors(self):
+        assert AES128(FIPS_KEY).decrypt_block(FIPS_CT) == FIPS_PT
+        assert AES128(APPB_KEY).decrypt_block(APPB_CT) == APPB_PT
+
+    def test_block_size_validation(self):
+        aes = AES128(FIPS_KEY)
+        with pytest.raises(ValueError):
+            aes.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            aes.decrypt_block(b"short")
+
+    @settings(max_examples=30)
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    def test_roundtrip(self, key, block):
+        aes = AES128(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+
+class TestCbc:
+    def test_roundtrip(self):
+        aes = AES128(FIPS_KEY)
+        data = bytes(range(64))
+        iv = bytes(16)
+        assert aes.decrypt_cbc(aes.encrypt_cbc(data, iv), iv) == data
+
+    def test_first_block_is_ecb_of_xored_iv(self):
+        aes = AES128(FIPS_KEY)
+        iv = bytes(range(16, 32))
+        pt = bytes(16)
+        ct = aes.encrypt_cbc(pt, iv)
+        assert ct[:16] == aes.encrypt_block(iv)  # pt=0 so block = iv
+
+    def test_chaining(self):
+        aes = AES128(FIPS_KEY)
+        ct = aes.encrypt_cbc(bytes(32), bytes(16))
+        assert ct[:16] != ct[16:]  # identical blocks chain differently
+
+    def test_validation(self):
+        aes = AES128(FIPS_KEY)
+        with pytest.raises(ValueError):
+            aes.encrypt_cbc(b"not multiple", bytes(16))
+        with pytest.raises(ValueError):
+            aes.encrypt_cbc(bytes(16), b"shortiv")
+        with pytest.raises(ValueError):
+            aes.decrypt_cbc(b"not multiple", bytes(16))

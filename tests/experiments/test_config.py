@@ -1,0 +1,57 @@
+"""Tests for the simulator configuration (Table IV)."""
+
+import pytest
+
+from repro.experiments.config import (
+    BASELINE_CONFIG,
+    SimulatorConfig,
+    bench_scale,
+    scaled,
+)
+
+
+class TestTableIV:
+    def test_baseline_values(self):
+        cfg = BASELINE_CONFIG
+        assert cfg.issue_width == 4
+        assert cfg.l2_size == 2 * 1024 * 1024
+        assert cfg.l2_assoc == 8
+        assert cfg.line_size == 64
+        assert cfg.replacement == "lru"
+        assert cfg.mshr_entries == 4
+        assert cfg.l1_hit_latency == 1
+        assert cfg.l2_hit_latency == 20
+
+    def test_with_l1d(self):
+        cfg = BASELINE_CONFIG.with_l1d(8 * 1024, 1)
+        assert (cfg.l1d_size, cfg.l1d_assoc) == (8 * 1024, 1)
+        assert cfg.l2_size == BASELINE_CONFIG.l2_size
+
+    def test_attacker_favoring(self):
+        cfg = BASELINE_CONFIG.attacker_favoring()
+        assert cfg.mshr_entries == 1
+        assert cfg.overlap_credit == 0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BASELINE_CONFIG.l1d_size = 1
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+        assert scaled(100) == 100
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert scaled(100) == 50
+
+    def test_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        assert scaled(100, minimum=10) == 10
+
+    def test_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()

@@ -1,0 +1,96 @@
+"""Small-scale integration tests of the per-figure experiment runners."""
+
+import pytest
+
+from repro.core.window import RandomFillWindow
+from repro.experiments.config import BASELINE_CONFIG
+from repro.experiments.perf_concurrent import figure8, run_concurrent
+from repro.experiments.perf_crypto import (
+    figure6,
+    figure7,
+    make_cbc_trace,
+    run_crypto_workload,
+)
+from repro.experiments.perf_general import (
+    figure9,
+    figure10,
+    run_general_workload,
+    window_label,
+)
+from repro.experiments.security import table3
+
+
+class TestCryptoRunners:
+    def test_make_cbc_trace_size(self):
+        trace = make_cbc_trace(message_kb=1, seed=0)
+        assert len(trace) == 64 * 668  # 64 blocks x refs/block
+
+    def test_run_crypto_workload(self):
+        result = run_crypto_workload("baseline", BASELINE_CONFIG,
+                                     message_kb=1, seed=0)
+        assert result.ipc > 0
+        assert result.instructions > 0
+
+    def test_figure6_structure(self):
+        points = figure6(sizes=(8 * 1024,), assocs=(1,),
+                         schemes=("baseline", "random_fill"),
+                         message_kb=1, seed=0)
+        assert len(points) == 2
+        base = next(p for p in points if p.scheme == "baseline")
+        assert base.normalized_ipc == pytest.approx(1.0)
+
+    def test_figure7_normalizes_to_window_one(self):
+        series = figure7(window_sizes=(1, 4),
+                         configs=(("8KB DM", "random_fill", 8 * 1024, 1),),
+                         message_kb=1, seed=0)
+        points = series["8KB DM"]
+        assert points[0] == (1, pytest.approx(1.0))
+
+
+class TestGeneralRunners:
+    def test_run_general_workload(self):
+        result = run_general_workload("hmmer", (0, 0), n_refs=4000, seed=0)
+        assert result.ipc > 0
+
+    def test_figure10_structure(self):
+        points = figure10(benchmarks=("hmmer",), windows=((0, 0), (0, 3)),
+                          n_refs=4000, seed=0)
+        assert len(points) == 2
+        assert points[0].normalized_ipc == pytest.approx(1.0)
+        assert points[1].label == "[0,3]"
+
+    def test_figure9_profiles(self):
+        profiles = figure9(benchmarks=("lbm",), n_refs=6000, seed=0)
+        assert "lbm" in profiles
+        assert profiles["lbm"].fetched  # something was randomly filled
+
+    def test_window_label(self):
+        assert window_label(16, 15) == "[-16,15]"
+        assert window_label(0, 7) == "[0,7]"
+
+
+class TestConcurrentRunner:
+    def test_run_concurrent(self):
+        ipc = run_concurrent("baseline", "hmmer", BASELINE_CONFIG,
+                             n_refs=3000, aes_kb=1, seed=0)
+        assert ipc > 0
+
+    def test_figure8_normalizes_baseline(self):
+        points = figure8(benchmarks=("hmmer",),
+                         cache_configs=((32 * 1024, 4),),
+                         schemes=("baseline", "random_fill"),
+                         n_refs=3000, aes_kb=1, seed=0)
+        base = next(p for p in points if p.scheme == "baseline")
+        assert base.normalized_throughput == pytest.approx(1.0)
+
+
+class TestSecurityRunner:
+    def test_table3_mc_only(self):
+        rows = table3(substrates=("sa",), window_sizes=(1, 32),
+                      mc_trials=150, attack_caps={}, seed=0)
+        assert len(rows) == 2
+        demand, covered = rows
+        assert demand.p1_minus_p2 > 0.4
+        assert abs(covered.p1_minus_p2) < 0.1
+        assert demand.extrapolated_n < covered.extrapolated_n
+        assert "no success" in covered.measurements_text()

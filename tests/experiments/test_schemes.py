@@ -1,0 +1,94 @@
+"""Tests for scheme construction."""
+
+import pytest
+
+from repro.cache.controller import DemandFetchPolicy
+from repro.core.policy import RandomFillPolicy
+from repro.core.window import RandomFillWindow
+from repro.crypto.traced_aes import AesMemoryLayout
+from repro.experiments.config import BASELINE_CONFIG
+from repro.experiments.schemes import SCHEME_NAMES, build_scheme
+from repro.prefetch.tagged import TaggedPrefetchPolicy
+from repro.secure.newcache import Newcache
+from repro.secure.nocache import DisableCachePolicy
+from repro.secure.plcache import PLCache
+
+
+PROTECTED = AesMemoryLayout().enc_regions()
+
+
+class TestBuildScheme:
+    def test_all_schemes_build(self):
+        for name in SCHEME_NAMES:
+            scheme = build_scheme(name, BASELINE_CONFIG, seed=1,
+                                  protected=PROTECTED)
+            assert scheme.l1 is not None
+            assert scheme.name == name
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            build_scheme("magic", BASELINE_CONFIG)
+
+    def test_baseline_demand_fetch(self):
+        scheme = build_scheme("baseline", BASELINE_CONFIG)
+        assert isinstance(scheme.l1.policy, DemandFetchPolicy)
+        assert scheme.os is None
+
+    def test_random_fill_wiring(self):
+        window = RandomFillWindow(16, 15)
+        scheme = build_scheme("random_fill", BASELINE_CONFIG, seed=1,
+                              window=window)
+        assert isinstance(scheme.l1.policy, RandomFillPolicy)
+        assert scheme.os.engine.window_for(0) == window
+
+    def test_random_fill_newcache_substrate(self):
+        scheme = build_scheme("random_fill_newcache", BASELINE_CONFIG, seed=1)
+        assert isinstance(scheme.l1.tag_store, Newcache)
+        assert isinstance(scheme.l1.policy, RandomFillPolicy)
+
+    def test_plcache_substrate(self):
+        scheme = build_scheme("plcache_preload", BASELINE_CONFIG,
+                              protected=PROTECTED)
+        assert isinstance(scheme.l1.tag_store, PLCache)
+
+    def test_disable_cache_needs_regions(self):
+        with pytest.raises(ValueError):
+            build_scheme("disable_cache", BASELINE_CONFIG)
+        scheme = build_scheme("disable_cache", BASELINE_CONFIG,
+                              protected=PROTECTED)
+        assert isinstance(scheme.l1.policy, DisableCachePolicy)
+
+    def test_tagged_prefetch_attached(self):
+        scheme = build_scheme("tagged_prefetch", BASELINE_CONFIG)
+        assert isinstance(scheme.l1.policy, TaggedPrefetchPolicy)
+        assert scheme.l1.policy._controller is scheme.l1
+
+    def test_window_on_demand_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            build_scheme("baseline", BASELINE_CONFIG,
+                         window=RandomFillWindow(4, 3))
+
+    def test_geometry_follows_config(self):
+        cfg = BASELINE_CONFIG.with_l1d(8 * 1024, 2)
+        scheme = build_scheme("baseline", cfg)
+        assert scheme.l1.tag_store.capacity_lines == 8 * 1024 // 64
+
+
+class TestPrepare:
+    def test_plcache_prepare_preloads_and_locks(self):
+        scheme = build_scheme("plcache_preload", BASELINE_CONFIG,
+                              protected=PROTECTED)
+        end = scheme.prepare()
+        scheme.l1.settle()
+        assert end > 0
+        locked = scheme.l1.tag_store.locked_lines()
+        assert len(locked) == PROTECTED.num_lines
+
+    def test_other_schemes_prepare_noop(self):
+        scheme = build_scheme("baseline", BASELINE_CONFIG)
+        assert scheme.prepare() == 0
+
+    def test_set_window_requires_engine(self):
+        scheme = build_scheme("baseline", BASELINE_CONFIG)
+        with pytest.raises(ValueError):
+            scheme.set_window(RandomFillWindow(4, 3))

@@ -1,0 +1,59 @@
+"""Tests for address geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.address import AddressMap, lines_spanned
+
+
+class TestAddressMap:
+    def test_line_of(self):
+        amap = AddressMap(line_size=64, num_sets=128)
+        assert amap.line_of(0) == 0
+        assert amap.line_of(63) == 0
+        assert amap.line_of(64) == 1
+
+    def test_set_and_tag(self):
+        amap = AddressMap(line_size=64, num_sets=128)
+        line = amap.line_of(0x12345)
+        assert amap.set_of_line(line) == line % 128
+        assert amap.tag_of_line(line) == line // 128
+
+    def test_byte_of_line_roundtrip(self):
+        amap = AddressMap(line_size=64, num_sets=16)
+        assert amap.line_of(amap.byte_of_line(77)) == 77
+
+    def test_set_of_byte(self):
+        amap = AddressMap(line_size=64, num_sets=4)
+        assert amap.set_of(64 * 5) == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressMap(line_size=48, num_sets=4)
+        with pytest.raises(ValueError):
+            AddressMap(line_size=64, num_sets=3)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_line_set_tag_reconstruct(self, addr):
+        amap = AddressMap(line_size=64, num_sets=256)
+        line = amap.line_of(addr)
+        rebuilt = (amap.tag_of_line(line) << amap.set_bits) | \
+            amap.set_of_line(line)
+        assert rebuilt == line
+
+
+class TestLinesSpanned:
+    def test_exact_table(self):
+        # a 1-KB table spans 16 lines of 64 bytes
+        assert len(lines_spanned(0x10000, 1024, 64)) == 16
+
+    def test_unaligned_region_rounds_out(self):
+        r = lines_spanned(32, 64, 64)
+        assert list(r) == [0, 1]
+
+    def test_single_byte(self):
+        assert list(lines_spanned(100, 1, 64)) == [1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            lines_spanned(0, 0, 64)

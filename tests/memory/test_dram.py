@@ -1,0 +1,68 @@
+"""Tests for the DRAM timing model."""
+
+from repro.memory.dram import DramConfig, DramModel
+
+
+class TestLatency:
+    def test_first_access_is_row_miss(self):
+        dram = DramModel()
+        done = dram.access(0, now=0)
+        assert done == dram.config.row_miss_latency
+        assert dram.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = DramModel()
+        dram.access(0, now=0)
+        before = dram.row_hits
+        dram.access(1, now=1000)
+        assert dram.row_hits == before + 1
+
+    def test_row_hit_faster_than_miss(self):
+        cfg = DramConfig()
+        assert cfg.row_hit_latency < cfg.row_miss_latency
+
+
+class TestBankPipelining:
+    def test_row_hits_pipeline_at_burst_rate(self):
+        dram = DramModel()
+        dram.access(0, now=0)  # open the row
+        t1 = dram.access(1, now=10_000)
+        t2 = dram.access(2, now=10_000)
+        # second access queues behind only the burst, not the full latency
+        assert t2 - t1 == dram.config.t_burst
+
+    def test_different_banks_independent(self):
+        dram = DramModel()
+        lines_per_row = dram.config.row_size_bytes // dram.config.line_size
+        t1 = dram.access(0, now=0)
+        t2 = dram.access(lines_per_row, now=0)  # next row -> next bank
+        assert t1 == t2  # no queuing across banks
+
+    def test_busy_bank_delays(self):
+        dram = DramModel()
+        t1 = dram.access(0, now=0)
+        t2 = dram.access(0, now=0)
+        assert t2 > t1 - dram.config.row_hit_latency  # queued behind busy
+
+
+class TestStats:
+    def test_lines_transferred(self):
+        dram = DramModel()
+        for i in range(5):
+            dram.access(i, now=i * 200)
+        assert dram.lines_transferred == 5
+
+    def test_reset_stats_keeps_rows(self):
+        dram = DramModel()
+        dram.access(0, now=0)
+        dram.reset_stats()
+        assert dram.lines_transferred == 0
+        dram.access(1, now=1000)
+        assert dram.row_hits == 1  # row still open
+
+    def test_full_reset(self):
+        dram = DramModel()
+        dram.access(0, now=0)
+        dram.reset()
+        dram.access(1, now=0)
+        assert dram.row_misses == 1

@@ -1,0 +1,63 @@
+"""Tests for the tagged next-line prefetcher."""
+
+from repro.cache.hierarchy import build_hierarchy
+from repro.prefetch.tagged import TaggedPrefetchPolicy, build_tagged_prefetch_l1
+from repro.cache.l2 import L2Cache
+
+
+def make_l1():
+    h = build_hierarchy()
+    policy = TaggedPrefetchPolicy()
+    h.l1.policy = policy
+    policy.attach(h.l1)
+    return h.l1, policy
+
+
+class TestTaggedPrefetch:
+    def test_miss_prefetches_next_line(self):
+        l1, policy = make_l1()
+        r = l1.access(0, now=0)
+        l1.settle()
+        assert l1.tag_store.probe(0)   # demand fill
+        assert l1.tag_store.probe(1)   # prefetched next line
+
+    def test_first_reference_chains(self):
+        l1, policy = make_l1()
+        r = l1.access(0, now=0)
+        l1.settle()
+        # first touch of the prefetched line 1 chains to line 2
+        l1.access(64, now=r.ready_at + 500)
+        l1.settle()
+        assert l1.tag_store.probe(2)
+
+    def test_second_reference_does_not_chain(self):
+        l1, policy = make_l1()
+        r = l1.access(0, now=0)
+        l1.settle()
+        l1.access(64, now=r.ready_at + 500)
+        l1.settle()
+        count = policy.prefetches_triggered
+        l1.access(64, now=r.ready_at + 2000)  # second touch: tag cleared
+        assert policy.prefetches_triggered == count
+
+    def test_sequential_stream_mostly_hits(self):
+        l1, policy = make_l1()
+        now = 0
+        misses = 0
+        for line in range(200):
+            r = l1.access(line * 64, now)
+            if not r.l1_hit:
+                misses += 1
+            now = r.ready_at + 100
+        assert misses < 100  # prefetching halves the stream's misses
+
+    def test_reset(self):
+        l1, policy = make_l1()
+        l1.access(0, now=0)
+        policy.reset()
+        assert policy.prefetches_triggered == 0
+
+    def test_builder(self):
+        l1 = build_tagged_prefetch_l1(
+            build_hierarchy().l1.tag_store, L2Cache())
+        assert isinstance(l1.policy, TaggedPrefetchPolicy)

@@ -1,0 +1,50 @@
+"""Tests for the disable-cache policy."""
+
+from repro.cache.context import AccessContext
+from repro.cache.controller import MissPlan
+from repro.cache.hierarchy import build_hierarchy
+from repro.cache.mshr import RequestType
+from repro.secure.nocache import DisableCachePolicy
+from repro.secure.region import ProtectedRegion, RegionSet
+
+
+def make_policy():
+    return DisableCachePolicy(RegionSet([ProtectedRegion(0x10000, 1024)]))
+
+
+class TestDisableCache:
+    def test_bypass_only_protected_lines(self):
+        policy = make_policy()
+        ctx = AccessContext()
+        assert policy.bypass(0x10000 // 64, ctx)
+        assert not policy.bypass(0, ctx)
+
+    def test_non_critical_misses_are_demand_fetch(self):
+        plan = make_policy().on_miss(0, AccessContext())
+        assert plan.demand_type is RequestType.NORMAL
+
+    def test_protected_lines_never_cached(self):
+        h = build_hierarchy(policy=make_policy())
+        r = h.l1.access(0x10000, now=0)
+        assert r.bypassed
+        r2 = h.l1.access(0x10000, now=r.ready_at + 100)
+        assert r2.bypassed and not r2.l1_hit
+
+    def test_protected_lines_constant_l1_behaviour(self):
+        """Every critical access costs the same (always L2), regardless
+        of history — the constant-time property."""
+        h = build_hierarchy(policy=make_policy())
+        h.l2.tag_store.fill(0x10000 // 64)  # warm L2
+        times = []
+        now = 0
+        for _ in range(5):
+            r = h.l1.access(0x10000, now)
+            times.append(r.ready_at - now)
+            now = r.ready_at + 50
+        assert len(set(times)) == 1
+
+    def test_normal_lines_cached(self):
+        h = build_hierarchy(policy=make_policy())
+        r = h.l1.access(0, now=0)
+        r2 = h.l1.access(0, now=r.ready_at + 1)
+        assert r2.l1_hit

@@ -1,0 +1,58 @@
+"""Tests for the NoMo static way partitioning."""
+
+import pytest
+
+from repro.cache.context import AccessContext
+from repro.secure.nomo import NoMoCache
+
+
+def one_set_cache(assoc=4, reserved=1):
+    return NoMoCache(assoc * 64, assoc, 64, reserved_ways=reserved)
+
+
+class TestNoMo:
+    def test_reservation_validation(self):
+        with pytest.raises(ValueError):
+            NoMoCache(4 * 64, 4, reserved_ways=3, num_threads=2)
+        with pytest.raises(ValueError):
+            NoMoCache(4 * 64, 4, reserved_ways=-1)
+
+    def test_thread_within_reservation_is_immune(self):
+        c = one_set_cache(assoc=2, reserved=1)
+        t0 = AccessContext(thread_id=0)
+        t1 = AccessContext(thread_id=1)
+        c.fill(0, t0)       # t0 holds exactly its reservation
+        c.fill(2, t1)
+        # t1 cannot evict t0's only line; must evict its own
+        evicted = c.fill(4, t1)
+        assert evicted == 2
+        assert c.probe(0)
+
+    def test_excess_lines_are_fair_game(self):
+        c = one_set_cache(assoc=4, reserved=1)
+        t0 = AccessContext(thread_id=0)
+        t1 = AccessContext(thread_id=1)
+        for line in (0, 4, 8):      # t0 holds 3 > reservation
+            c.fill(line, t0)
+        c.fill(12, t1)
+        evicted = c.fill(16, t1)    # t1 may evict t0's excess (LRU first)
+        assert evicted in (0, 4, 8)
+
+    def test_own_lines_always_evictable(self):
+        c = one_set_cache(assoc=2, reserved=1)
+        t0 = AccessContext(thread_id=0)
+        c.fill(0, t0)
+        c.fill(2, t0)
+        assert c.fill(4, t0) is not None
+
+    def test_prime_probe_blocked_within_reservation(self):
+        """NoMo's purpose: an SMT attacker cannot observe the victim's
+        line through eviction while the victim stays within its ways."""
+        c = one_set_cache(assoc=4, reserved=2)
+        victim = AccessContext(thread_id=0)
+        attacker = AccessContext(thread_id=1)
+        c.fill(0, victim)
+        c.fill(4, victim)   # victim occupies its 2 reserved ways
+        for line in (8, 12, 16, 20):
+            c.fill(line, attacker)
+        assert c.probe(0) and c.probe(4)

@@ -1,0 +1,65 @@
+"""Tests for PLcache and the preload routine."""
+
+from repro.cache.context import AccessContext
+from repro.cache.hierarchy import build_hierarchy
+from repro.secure.plcache import PLCache, preload_and_lock
+from repro.secure.region import ProtectedRegion, RegionSet
+
+
+class TestPLCache:
+    def test_locked_lines_listing(self):
+        c = PLCache(4096, 4)
+        c.fill(1, AccessContext(thread_id=1, lock=True))
+        c.fill(2)
+        assert c.locked_lines() == [1]
+
+    def test_unlock_all(self):
+        c = PLCache(4096, 4)
+        c.fill(1, AccessContext(thread_id=1, lock=True))
+        c.fill(2, AccessContext(thread_id=2, lock=True))
+        c.unlock_all(1)
+        assert c.locked_lines() == [2]
+
+    def test_cross_process_cannot_evict_locked(self):
+        c = PLCache(2 * 64, 2, 64)
+        c.fill(0, AccessContext(thread_id=1, lock=True))
+        c.fill(2, AccessContext(thread_id=1, lock=True))
+        assert c.fill(4, AccessContext(thread_id=2)) is None
+        assert c.probe(0) and c.probe(2)
+
+
+class TestPreload:
+    def test_preload_locks_every_table_line(self):
+        h = build_hierarchy(l1_tag_store=PLCache(32 * 1024, 4))
+        region = ProtectedRegion(0x10000, 1024)
+        ctx = AccessContext(thread_id=0)
+        end = preload_and_lock(h.l1, RegionSet([region]), ctx, now=0)
+        h.l1.settle()
+        assert end > 0
+        store = h.l1.tag_store
+        for line in region.lines:
+            assert store.probe(line)
+            assert store.line_state(line).locked
+
+    def test_preload_returns_monotonic_time(self):
+        h = build_hierarchy(l1_tag_store=PLCache(32 * 1024, 4))
+        regions = RegionSet([ProtectedRegion(0x10000, 1024),
+                             ProtectedRegion(0x20000, 1024)])
+        end = preload_and_lock(h.l1, regions, AccessContext(), now=100)
+        assert end > 100
+
+    def test_preloaded_lines_survive_other_thread_traffic(self):
+        h = build_hierarchy(l1_tag_store=PLCache(8 * 1024, 1))
+        region = ProtectedRegion(0x10000, 1024)
+        preload_and_lock(h.l1, RegionSet([region]), AccessContext(thread_id=1),
+                         now=0)
+        h.l1.settle()
+        # another thread streams over conflicting addresses
+        other = AccessContext(thread_id=2)
+        now = 0
+        for line in range(0x40000 // 64, 0x40000 // 64 + 512):
+            r = h.l1.access(line * 64, now, other)
+            now = r.ready_at
+        h.l1.settle()
+        for line in region.lines:
+            assert h.l1.tag_store.probe(line)

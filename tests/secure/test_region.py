@@ -1,0 +1,59 @@
+"""Tests for protected regions."""
+
+import pytest
+
+from repro.secure.region import ProtectedRegion, RegionSet
+
+
+class TestProtectedRegion:
+    def test_geometry(self):
+        r = ProtectedRegion(0x10000, 1024, 64)
+        assert r.first_line == 1024
+        assert r.num_lines == 16
+
+    def test_partial_line_rounds_up(self):
+        r = ProtectedRegion(0, 65, 64)
+        assert r.num_lines == 2
+
+    def test_contains(self):
+        r = ProtectedRegion(0x10000, 1024)
+        assert r.contains_line(1024) and r.contains_line(1039)
+        assert not r.contains_line(1040)
+        assert r.contains_byte(0x10000) and not r.contains_byte(0x10400)
+
+    def test_line_of_offset(self):
+        r = ProtectedRegion(0x10000, 1024)
+        assert r.line_of_offset(0) == 1024
+        assert r.line_of_offset(64) == 1025
+        with pytest.raises(ValueError):
+            r.line_of_offset(1024)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProtectedRegion(0, 0)
+        with pytest.raises(ValueError):
+            ProtectedRegion(33, 64)  # unaligned base
+
+
+class TestRegionSet:
+    def test_membership(self):
+        rs = RegionSet([ProtectedRegion(0, 64), ProtectedRegion(640, 64)])
+        assert rs.contains_line(0)
+        assert rs.contains_line(10)
+        assert not rs.contains_line(5)
+
+    def test_num_lines(self):
+        rs = RegionSet([ProtectedRegion(0, 128)])
+        assert rs.num_lines == 2
+
+    def test_iteration_and_len(self):
+        regions = [ProtectedRegion(0, 64, name="a"),
+                   ProtectedRegion(640, 64, name="b")]
+        rs = RegionSet(regions)
+        assert len(rs) == 2
+        assert [r.name for r in rs] == ["a", "b"]
+
+    def test_empty(self):
+        rs = RegionSet()
+        assert not rs.contains_line(0)
+        assert rs.num_lines == 0

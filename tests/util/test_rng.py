@@ -1,0 +1,69 @@
+"""Tests for the hardware RNG model."""
+
+import pytest
+
+from repro.util.rng import HardwareRng, derive_seed
+
+
+class TestHardwareRng:
+    def test_draw_within_width(self):
+        rng = HardwareRng(seed=1, width=8)
+        assert all(0 <= rng.draw() < 256 for _ in range(1000))
+
+    def test_draw_masked_applies_mask(self):
+        rng = HardwareRng(seed=2, width=8)
+        assert all(rng.draw_masked(0x0F) < 16 for _ in range(500))
+
+    def test_draw_below_bound(self):
+        rng = HardwareRng(seed=3)
+        assert all(rng.draw_below(7) < 7 for _ in range(500))
+
+    def test_draw_below_rejects_nonpositive(self):
+        rng = HardwareRng(seed=3)
+        with pytest.raises(ValueError):
+            rng.draw_below(0)
+
+    def test_deterministic_given_seed(self):
+        a = [HardwareRng(seed=42).draw() for _ in range(50)]
+        b = [HardwareRng(seed=42).draw() for _ in range(50)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [HardwareRng(seed=1).draw() for _ in range(50)]
+        b = [HardwareRng(seed=2).draw() for _ in range(50)]
+        assert a != b
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            HardwareRng(seed=0, width=0)
+
+    def test_buffer_size_validation(self):
+        with pytest.raises(ValueError):
+            HardwareRng(seed=0, buffer_size=0)
+
+    def test_fork_is_independent_stream(self):
+        parent = HardwareRng(seed=9)
+        child = parent.fork("component")
+        a = [child.draw() for _ in range(20)]
+        b = [parent.draw() for _ in range(20)]
+        assert a != b
+
+    def test_roughly_uniform(self):
+        rng = HardwareRng(seed=11, width=4)
+        counts = [0] * 16
+        for _ in range(16000):
+            counts[rng.draw()] += 1
+        assert min(counts) > 700 and max(counts) < 1300
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_sensitive_to_components(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit_range(self):
+        s = derive_seed(123456789, "x", "y", 3)
+        assert 0 <= s < 2 ** 64

@@ -1,0 +1,38 @@
+"""Tests for text-table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+def test_basic_rendering():
+    out = format_table(["a", "bb"], [[1, 2], [30, 4]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "30" in lines[3]
+
+
+def test_title_included():
+    out = format_table(["x"], [[1]], title="Table III")
+    assert out.splitlines()[0] == "Table III"
+
+
+def test_column_alignment():
+    out = format_table(["col"], [["short"], ["much longer cell"]])
+    header, rule, *rows = out.splitlines()
+    assert len(rule) == len("much longer cell")
+
+
+def test_float_formatting():
+    out = format_table(["v"], [[0.123456789]])
+    assert "0.1235" in out
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_ok():
+    out = format_table(["a"], [])
+    assert "a" in out

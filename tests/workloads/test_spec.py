@@ -1,0 +1,58 @@
+"""Tests for the named SPEC-like benchmark registry."""
+
+import pytest
+
+from repro.cpu.trace import validate_trace
+from repro.workloads.spec import (
+    FIGURE8_ORDER,
+    SPEC_BENCHMARKS,
+    STREAMING_BENCHMARKS,
+    make_workload,
+)
+
+
+class TestRegistry:
+    def test_eight_benchmarks(self):
+        assert len(SPEC_BENCHMARKS) == 8
+
+    def test_figure8_order_complete(self):
+        assert sorted(FIGURE8_ORDER) == sorted(SPEC_BENCHMARKS)
+
+    def test_streaming_subset(self):
+        assert set(STREAMING_BENCHMARKS) <= set(SPEC_BENCHMARKS)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            make_workload("gcc")
+
+    def test_all_generate_valid_traces(self):
+        for name in SPEC_BENCHMARKS:
+            trace = make_workload(name, n_refs=500, seed=1)
+            assert len(trace) == 500
+            list(validate_trace(trace))
+
+    def test_deterministic(self):
+        assert make_workload("astar", 300, seed=5) == \
+            make_workload("astar", 300, seed=5)
+
+    def test_seeds_differ(self):
+        assert make_workload("astar", 300, seed=1) != \
+            make_workload("astar", 300, seed=2)
+
+
+class TestCharacter:
+    def test_streaming_benchmarks_move_forward(self):
+        for name in STREAMING_BENCHMARKS:
+            trace = make_workload(name, n_refs=2000, seed=1)
+            lines = [addr // 64 for addr, _, _ in trace]
+            assert lines[-1] - lines[0] > 50
+
+    def test_hmmer_has_tiny_footprint(self):
+        trace = make_workload("hmmer", n_refs=5000, seed=1)
+        lines = {addr // 64 for addr, _, _ in trace}
+        assert len(lines) <= 512
+
+    def test_libquantum_footprint_exceeds_l1(self):
+        trace = make_workload("libquantum", n_refs=20000, seed=1)
+        lines = {addr // 64 for addr, _, _ in trace}
+        assert len(lines) > 512  # bigger than a 32 KB L1
