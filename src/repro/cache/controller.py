@@ -14,13 +14,20 @@ controller owns:
 
 The demand-fetch baseline is :class:`DemandFetchPolicy`; the paper's
 contribution plugs in via :class:`repro.core.policy.RandomFillPolicy`.
+
+``access`` is the single hottest function in the simulator (one call per
+trace record, tens of millions per sweep), so its fast paths avoid
+attribute chains, no-op method calls and dataclass construction: the
+line shift is cached at construction, the empty fill/miss queues are
+checked before paying for a drain call, and the policy's ``bypass`` /
+``on_hit`` hooks are only invoked when the policy actually overrides
+them (tracked by the ``policy`` setter).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 from repro.cache.context import AccessContext, DEFAULT_CONTEXT
 from repro.cache.l2 import L2Cache
@@ -30,16 +37,32 @@ from repro.cache.tagstore import TagStore
 from repro.memory.address import AddressMap
 
 
-@dataclass(frozen=True)
 class MissPlan:
     """What the fill policy wants done for one demand miss.
 
     ``demand_type`` is NORMAL (fill + forward) or NOFILL (forward only);
     ``random_fill_lines`` are extra line addresses for the fill queue.
+
+    Created once per demand miss; a plain ``__slots__`` class (not a
+    dataclass) to keep construction off the profile.
     """
 
-    demand_type: RequestType
-    random_fill_lines: Tuple[int, ...] = ()
+    __slots__ = ("demand_type", "random_fill_lines")
+
+    def __init__(self, demand_type: RequestType,
+                 random_fill_lines: Tuple[int, ...] = ()):
+        self.demand_type = demand_type
+        self.random_fill_lines = random_fill_lines
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MissPlan):
+            return NotImplemented
+        return (self.demand_type is other.demand_type
+                and self.random_fill_lines == other.random_fill_lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MissPlan({self.demand_type!r}, "
+                f"random_fill_lines={self.random_fill_lines!r})")
 
 
 class FillPolicy:
@@ -56,23 +79,50 @@ class FillPolicy:
         """Hook for policies that react to hits (none in the paper)."""
 
 
+#: Shared demand-fetch plan.  A NORMAL plan carries no per-miss state,
+#: and the controller consumes plans synchronously, so every plain miss
+#: can return this singleton instead of allocating.
+NORMAL_PLAN = MissPlan(RequestType.NORMAL)
+
+
 class DemandFetchPolicy(FillPolicy):
     """The conventional policy: every miss demand-fills the cache."""
 
     def on_miss(self, line_addr: int, ctx: AccessContext) -> MissPlan:
-        return MissPlan(RequestType.NORMAL)
+        return NORMAL_PLAN
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one L1 access."""
+    """Outcome of one L1 access.
 
-    ready_at: int          # cycle the demanded data reaches the CPU
-    l1_hit: bool
-    merged: bool = False   # satisfied by an in-flight miss (MSHR merge)
-    bypassed: bool = False
-    stalled_for_mshr: int = 0  # cycles spent waiting for a free MSHR
-    line_addr: int = -1        # line accessed (for CPU-side bookkeeping)
+    One instance is created per memory reference, so this is a plain
+    ``__slots__`` class: frozen-dataclass construction costs roughly
+    twice as much per object, which is measurable across a sweep.
+    """
+
+    __slots__ = ("ready_at", "l1_hit", "merged", "bypassed",
+                 "stalled_for_mshr", "line_addr")
+
+    def __init__(self, ready_at: int, l1_hit: bool, merged: bool = False,
+                 bypassed: bool = False, stalled_for_mshr: int = 0,
+                 line_addr: int = -1):
+        self.ready_at = ready_at          # cycle the data reaches the CPU
+        self.l1_hit = l1_hit
+        self.merged = merged              # satisfied by an in-flight miss
+        self.bypassed = bypassed
+        self.stalled_for_mshr = stalled_for_mshr
+        self.line_addr = line_addr        # line accessed (CPU bookkeeping)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessResult):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f)
+                   for f in AccessResult.__slots__)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{f}={getattr(self, f)!r}"
+                           for f in AccessResult.__slots__)
+        return f"AccessResult({fields})"
 
 
 class L1Controller:
@@ -86,7 +136,12 @@ class L1Controller:
                  line_size: int = 64):
         self.tag_store = tag_store
         self.next_level = next_level
-        self.policy = policy if policy is not None else DemandFetchPolicy()
+        # Bound-method caches: the tag store and next level are fixed
+        # at construction, and each saves an attribute chain per access.
+        self._tag_access = tag_store.access
+        self._tag_probe = tag_store.probe
+        self._tag_fill = tag_store.fill
+        self._l2_access = next_level.access
         self.hit_latency = hit_latency
         self.miss_queue = MissQueue(mshr_entries)
         self.fill_queue: Deque[Tuple[int, AccessContext]] = deque()
@@ -95,13 +150,43 @@ class L1Controller:
         # (0 when there is only one MSHR — the Table III attack setup).
         self.fill_reserve = 1 if mshr_entries > 1 else 0
         self.amap = AddressMap(line_size=line_size, num_sets=1)
+        self._line_shift = self.amap.line_bits
         self.stats = CacheStats()
+        # True while the fill queue's head is known to be unable to make
+        # progress (no MSHR beyond the demand reserve, not a merge, not
+        # already resident).  That verdict can only change when an MSHR
+        # retires or a demand miss allocates — both tracked below — so
+        # the per-access re-probe of a parked head is skipped.
+        self._fills_blocked = False
+        self.policy = policy if policy is not None else DemandFetchPolicy()
+
+    # -- policy dispatch ---------------------------------------------------
+
+    @property
+    def policy(self) -> FillPolicy:
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: FillPolicy) -> None:
+        """Install a policy, caching which optional hooks it overrides.
+
+        The base-class ``bypass``/``on_hit`` are no-ops; skipping the
+        virtual call for policies that keep the defaults removes two
+        method dispatches from every access.
+        """
+        self._policy = policy
+        cls = type(policy)
+        self._policy_bypasses = cls.bypass is not FillPolicy.bypass
+        self._policy_on_hit = (policy.on_hit
+                               if cls.on_hit is not FillPolicy.on_hit
+                               else None)
+        self._policy_on_miss = policy.on_miss
 
     # -- internals ---------------------------------------------------------
 
     def _install(self, line_addr: int, ctx: AccessContext) -> None:
         """Fill callback invoked when an in-flight line's data returns."""
-        evicted = self.tag_store.fill(line_addr, ctx)
+        evicted = self._tag_fill(line_addr, ctx)
         self.stats.fills += 1
         if evicted is not None:
             self.stats.evictions += 1
@@ -110,36 +195,49 @@ class L1Controller:
         self.miss_queue.drain(now, self._install)
 
     def _issue_random_fills(self, now: int) -> None:
-        """Give queued random fill requests their idle-cycle tag lookup."""
-        requeue: List[Tuple[int, AccessContext]] = []
-        while self.fill_queue:
-            line_addr, ctx = self.fill_queue.popleft()
-            if self.tag_store.probe(line_addr, ctx):
-                self.stats.random_fill_dropped += 1
+        """Give queued random fill requests their idle-cycle tag lookup.
+
+        The head request is *peeked*, not popped: when no MSHR is free
+        beyond the demand reserve it simply stays queued, avoiding the
+        pop/requeue churn the old implementation paid on every access
+        while the MSHRs were busy.  The probe/merge-lookup sequence per
+        request is unchanged.
+        """
+        fill_queue = self.fill_queue
+        miss_queue = self.miss_queue
+        mq_entries = miss_queue._entries
+        probe = self._tag_probe
+        stats = self.stats
+        limit = miss_queue.capacity - self.fill_reserve
+        while fill_queue:
+            line_addr, ctx = fill_queue[0]
+            if probe(line_addr, ctx):
+                fill_queue.popleft()
+                stats.random_fill_dropped += 1
                 continue
-            in_flight = self.miss_queue.lookup(line_addr)
+            in_flight = mq_entries.get(line_addr)
             if in_flight is not None:
                 # Merge with the outstanding miss.  A NOFILL entry is
                 # upgraded: its data is already on the way, and the
                 # random fill request asks for it to be installed.
+                fill_queue.popleft()
                 if in_flight.request_type is RequestType.NOFILL:
                     in_flight.request_type = RequestType.RANDOM_FILL
-                    self.stats.random_fill_issued += 1
+                    stats.random_fill_issued += 1
                 else:
-                    self.stats.random_fill_dropped += 1
+                    stats.random_fill_dropped += 1
                 continue
-            if len(self.miss_queue) >= self.miss_queue.capacity - self.fill_reserve:
+            if len(mq_entries) >= limit:
                 # Keep a reserved MSHR free for demand misses so fill
                 # traffic cannot stall the processor outright.
-                requeue.append((line_addr, ctx))
                 break
-            complete_at = self.next_level.access(line_addr, now, ctx)
-            self.stats.next_level_requests += 1
-            self.stats.random_fill_issued += 1
-            self.miss_queue.allocate(line_addr, complete_at,
-                                     RequestType.RANDOM_FILL, ctx)
-        for item in reversed(requeue):
-            self.fill_queue.appendleft(item)
+            fill_queue.popleft()
+            complete_at = self._l2_access(line_addr, now, ctx)
+            stats.next_level_requests += 1
+            stats.random_fill_issued += 1
+            miss_queue.allocate(line_addr, complete_at,
+                                RequestType.RANDOM_FILL, ctx)
+        self._fills_blocked = bool(fill_queue)
 
     def _enqueue_random_fills(self, lines: Tuple[int, ...],
                               ctx: AccessContext) -> None:
@@ -158,96 +256,128 @@ class L1Controller:
     def access(self, byte_addr: int, now: int,
                ctx: AccessContext = DEFAULT_CONTEXT) -> AccessResult:
         """One demand access at cycle ``now``; returns timing + outcome."""
-        line_addr = self.amap.line_of(byte_addr)
-        self.stats.accesses += 1
-        self._drain(now)
+        line_addr = byte_addr >> self._line_shift
+        stats = self.stats
+        stats.accesses += 1
+        miss_queue = self.miss_queue
+        mq_entries = miss_queue._entries
+        if now >= miss_queue.next_completion:
+            miss_queue.drain(now, self._install)
+            self._fills_blocked = False
 
-        if self.policy.bypass(line_addr, ctx):
+        if self._policy_bypasses and self._policy.bypass(line_addr, ctx):
             # Disable-cache scheme: straight to L2, no L1 state change.
             # The L2 still fills — the defence targets the L1 channel.
-            ready = self.next_level.access(line_addr, now, ctx, fill=True)
-            self.stats.demand_misses += 1
-            self.stats.next_level_requests += 1
+            ready = self._l2_access(line_addr, now, ctx, fill=True)
+            stats.demand_misses += 1
+            stats.next_level_requests += 1
             return AccessResult(ready_at=ready, l1_hit=False, bypassed=True,
                                 line_addr=line_addr)
 
-        if self.tag_store.access(line_addr, ctx):
-            self.stats.hits += 1
-            self.policy.on_hit(line_addr, ctx)
-            self._issue_random_fills(now)
-            return AccessResult(ready_at=now + self.hit_latency, l1_hit=True,
+        if self._tag_access(line_addr, ctx):
+            stats.hits += 1
+            on_hit = self._policy_on_hit
+            if on_hit is not None:
+                on_hit(line_addr, ctx)
+            if self.fill_queue and not self._fills_blocked:
+                self._issue_random_fills(now)
+            return AccessResult(now + self.hit_latency, True,
                                 line_addr=line_addr)
 
-        in_flight = self.miss_queue.lookup(line_addr)
+        in_flight = mq_entries.get(line_addr)
         if in_flight is not None:
             # Secondary miss: merge; data usable when the line arrives.
-            self.stats.mshr_merges += 1
+            stats.mshr_merges += 1
             ready = max(in_flight.complete_at, now) + self.hit_latency
             return AccessResult(ready_at=ready, l1_hit=False, merged=True,
                                 line_addr=line_addr)
 
-        # Requests claim MSHRs in arrival order: random fill requests
-        # already waiting in the fill queue are older than this demand
-        # miss, so they get first pick of free entries.
-        self._issue_random_fills(now)
-        in_flight = self.miss_queue.lookup(line_addr)
-        if in_flight is not None:
-            # A queued random fill for this very line just issued.
-            self.stats.mshr_merges += 1
-            ready = max(in_flight.complete_at, now) + self.hit_latency
-            return AccessResult(ready_at=ready, l1_hit=False, merged=True,
-                                line_addr=line_addr)
+        if self.fill_queue and not self._fills_blocked:
+            # Requests claim MSHRs in arrival order: random fill requests
+            # already waiting in the fill queue are older than this demand
+            # miss, so they get first pick of free entries.
+            self._issue_random_fills(now)
+            in_flight = mq_entries.get(line_addr)
+            if in_flight is not None:
+                # A queued random fill for this very line just issued.
+                stats.mshr_merges += 1
+                ready = max(in_flight.complete_at, now) + self.hit_latency
+                return AccessResult(ready_at=ready, l1_hit=False, merged=True,
+                                    line_addr=line_addr)
 
         stall = 0
-        if self.miss_queue.full:
-            freed_at = self.miss_queue.earliest_completion()
+        if len(mq_entries) >= miss_queue.capacity:
+            freed_at = miss_queue.next_completion
             stall = max(0, freed_at - now)
             now += stall
-            self._drain(now)
+            miss_queue.drain(now, self._install)
+            self._fills_blocked = False
             # The drained line might be the one we want.
-            if self.tag_store.access(line_addr, ctx):
-                self.stats.hits += 1
+            if self._tag_access(line_addr, ctx):
+                stats.hits += 1
                 return AccessResult(now + self.hit_latency, l1_hit=True,
                                     stalled_for_mshr=stall,
                                     line_addr=line_addr)
 
-        plan = self.policy.on_miss(line_addr, ctx)
-        complete_at = self.next_level.access(line_addr, now, ctx)
-        self.stats.demand_misses += 1
-        self.stats.next_level_requests += 1
-        self.miss_queue.allocate(line_addr, complete_at, plan.demand_type, ctx)
-        self._enqueue_random_fills(plan.random_fill_lines, ctx)
-        self._issue_random_fills(now)
+        plan = self._policy_on_miss(line_addr, ctx)
+        complete_at = self._l2_access(line_addr, now, ctx)
+        stats.demand_misses += 1
+        stats.next_level_requests += 1
+        miss_queue.allocate(line_addr, complete_at, plan.demand_type, ctx)
+        self._fills_blocked = False
+        if plan.random_fill_lines:
+            self._enqueue_random_fills(plan.random_fill_lines, ctx)
+        if self.fill_queue:
+            self._issue_random_fills(now)
         return AccessResult(ready_at=complete_at, l1_hit=False,
                             stalled_for_mshr=stall, line_addr=line_addr)
 
-    def settle(self, now: int = None) -> None:
+    def settle(self, now: Optional[int] = None) -> None:
         """Complete all in-flight activity (end-of-run bookkeeping).
 
         With ``now=None`` everything outstanding is retired regardless of
-        completion time.
+        completion time.  With a bounded ``now`` whatever cannot complete
+        by that cycle is dropped.  Every iteration of the unbounded loop
+        is checked for progress: a full miss queue whose drain retires
+        nothing (or fill requests pinned behind the MSHR reserve) used to
+        re-enter the loop forever via a bare ``continue``; now the
+        stragglers are dropped instead of spinning.
         """
+        if now is not None:
+            # Bounded settle: retire what completes by `now`, then drop
+            # whatever cannot.
+            self.miss_queue.drain(now, self._install)
+            if self.fill_queue and not self.miss_queue.full:
+                self._issue_random_fills(now)
+                self.miss_queue.drain(now, self._install)
+            self.stats.random_fill_dropped += len(self.fill_queue)
+            self.fill_queue.clear()
+            self.miss_queue.flush()
+            self._fills_blocked = False
+            return
         while self.fill_queue or len(self.miss_queue):
+            progressed = False
             if len(self.miss_queue):
-                horizon = self.miss_queue.earliest_completion() if now is None \
-                    else now
-                self.miss_queue.drain(max(horizon, 0), self._install)
-            if self.fill_queue:
-                if self.miss_queue.full:
-                    continue
-                horizon = 0 if now is None else now
-                self._issue_random_fills(horizon)
-            if now is not None:
-                # Bounded settle: drop whatever cannot complete by `now`.
-                self.miss_queue.flush()
+                horizon = max(self.miss_queue.earliest_completion(), 0)
+                progressed |= bool(self.miss_queue.drain(horizon,
+                                                        self._install))
+            if self.fill_queue and not self.miss_queue.full:
+                before = len(self.fill_queue)
+                self._issue_random_fills(0)
+                progressed |= len(self.fill_queue) != before
+            if not progressed:  # pragma: no cover - defensive backstop
+                self.stats.random_fill_dropped += len(self.fill_queue)
                 self.fill_queue.clear()
+                self.miss_queue.flush()
                 break
+        self._fills_blocked = False
 
     def flush(self) -> None:
         """Flush tag store and discard in-flight state (clean-cache reset)."""
         self.tag_store.flush()
         self.miss_queue.flush()
         self.fill_queue.clear()
+        self._fills_blocked = False
 
     def reset_stats(self) -> None:
         self.stats.reset()

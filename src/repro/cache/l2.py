@@ -42,18 +42,19 @@ class L2Cache:
         Returns the cycle at which the line's data is available to the
         requester (critical word first at this granularity).
         """
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         if self.tag_store.access(line_addr, ctx):
-            self.stats.hits += 1
+            stats.hits += 1
             return now + self.hit_latency
-        self.stats.demand_misses += 1
-        self.stats.next_level_requests += 1
+        stats.demand_misses += 1
+        stats.next_level_requests += 1
         done = self.dram.access(line_addr, now + self.hit_latency)
         if fill:
             evicted = self.tag_store.fill(line_addr, ctx)
-            self.stats.fills += 1
+            stats.fills += 1
             if evicted is not None:
-                self.stats.evictions += 1
+                stats.evictions += 1
         return done
 
     def probe(self, line_addr: int) -> bool:

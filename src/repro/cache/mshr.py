@@ -15,6 +15,7 @@ purposes — Section VII's MPKI definition excludes them).
 
 from __future__ import annotations
 
+import operator
 from enum import Enum
 from typing import Callable, Dict, Optional
 
@@ -48,15 +49,26 @@ class MissEntry:
 
 FillCallback = Callable[[int, AccessContext], None]
 
+#: sort key for retiring entries in completion order
+_by_completion = operator.attrgetter("complete_at")
+
 
 class MissQueue:
     """Fixed-capacity MSHR file with merge and lazy drain."""
+
+    #: ``next_completion`` when the queue is empty — later than any
+    #: reachable simulation cycle, so ``now >= next_completion`` is a
+    #: single-comparison "anything to drain?" test on the hot path.
+    NEVER = (1 << 62)
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: Dict[int, MissEntry] = {}
+        # Cached min(complete_at) over entries; maintained by allocate/
+        # drain/flush (merges and type upgrades never change complete_at).
+        self.next_completion = self.NEVER
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -73,7 +85,7 @@ class MissQueue:
         """Cycle the next entry completes; queue must be non-empty."""
         if not self._entries:
             raise ValueError("earliest_completion() on empty miss queue")
-        return min(e.complete_at for e in self._entries.values())
+        return self.next_completion
 
     def allocate(self, line_addr: int, complete_at: int,
                  request_type: RequestType, ctx: AccessContext) -> MissEntry:
@@ -84,6 +96,8 @@ class MissQueue:
             raise RuntimeError(f"duplicate miss entry for line 0x{line_addr:x}")
         entry = MissEntry(line_addr, complete_at, request_type, ctx)
         self._entries[line_addr] = entry
+        if complete_at < self.next_completion:
+            self.next_completion = complete_at
         return entry
 
     def drain(self, now: int, fill_callback: FillCallback) -> int:
@@ -93,18 +107,24 @@ class MissQueue:
         ``fill_callback`` in completion order.  Returns the number of
         entries retired.
         """
-        if not self._entries:
+        entries = self._entries
+        if now < self.next_completion:
             return 0
-        done = [e for e in self._entries.values() if e.complete_at <= now]
-        if not done:
-            return 0
-        done.sort(key=lambda e: e.complete_at)
+        done = [e for e in entries.values() if e.complete_at <= now]
+        if len(done) > 1:
+            done.sort(key=_by_completion)
         for entry in done:
-            del self._entries[entry.line_addr]
-            if entry.fills_cache:
+            del entries[entry.line_addr]
+            if entry.request_type is not RequestType.NOFILL:
                 fill_callback(entry.line_addr, entry.ctx)
+        nxt = self.NEVER
+        for entry in entries.values():
+            if entry.complete_at < nxt:
+                nxt = entry.complete_at
+        self.next_completion = nxt
         return len(done)
 
     def flush(self) -> None:
         """Discard all in-flight entries (used when resetting state)."""
         self._entries.clear()
+        self.next_completion = self.NEVER

@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro.cache.context import AccessContext, DEFAULT_CONTEXT
-from repro.cache.replacement import LruPolicy, ReplacementPolicy
+from repro.cache.replacement import FifoPolicy, LruPolicy, ReplacementPolicy
 from repro.cache.tagstore import LineState, TagStore
 from repro.memory.address import AddressMap
 
@@ -43,13 +43,46 @@ class SetAssociativeCache(TagStore):
         self.capacity_lines = size_bytes // line_size
         num_sets = self.capacity_lines // associativity
         self.amap = AddressMap(line_size=line_size, num_sets=num_sets)
-        self.policy = policy if policy is not None else LruPolicy()
+        # Hot-path constant: the set index is `line_addr & mask`.
+        self._set_mask = num_sets - 1
         self._sets: List[List[LineState]] = [[] for _ in range(num_sets)]
+        # Subclasses with their own eviction rules (e.g. NoMo's
+        # partitioning) must not take the inlined victim fast path.
+        self._default_evictable = (
+            type(self)._evictable_indices
+            is SetAssociativeCache._evictable_indices)
+        self.policy = policy if policy is not None else LruPolicy()
+
+    # -- replacement policy dispatch --------------------------------------
+
+    @property
+    def policy(self) -> ReplacementPolicy:
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: ReplacementPolicy) -> None:
+        """Install a policy, caching fast-path flags for LRU/FIFO.
+
+        The baseline LRU (and FIFO) hit/fill/victim behaviour is simple
+        enough to inline into ``access``/``fill`` — which are the most
+        called functions in a simulation — instead of paying a virtual
+        dispatch per event.  Any other policy, or a subclass with its
+        own eviction filter, takes the generic path.
+        """
+        self._policy = policy
+        cls = type(policy)
+        self._lru_hits = cls.on_hit is LruPolicy.on_hit
+        self._noop_hits = cls.on_hit is FifoPolicy.on_hit
+        self._mru_fills = cls.on_fill in (LruPolicy.on_fill,
+                                          FifoPolicy.on_fill)
+        self._max_victims = self._default_evictable and \
+            cls.choose_victim in (LruPolicy.choose_victim,
+                                  FifoPolicy.choose_victim)
 
     # -- helpers ---------------------------------------------------------
 
     def _set_for(self, line_addr: int) -> List[LineState]:
-        return self._sets[self.amap.set_of_line(line_addr)]
+        return self._sets[line_addr & self._set_mask]
 
     def _find(self, cache_set: List[LineState], line_addr: int) -> int:
         for i, line in enumerate(cache_set):
@@ -72,37 +105,65 @@ class SetAssociativeCache(TagStore):
     # -- TagStore interface ----------------------------------------------
 
     def probe(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> bool:
-        return self._find(self._set_for(line_addr), line_addr) >= 0
+        for line in self._sets[line_addr & self._set_mask]:
+            if line.line_addr == line_addr:
+                return True
+        return False
 
     def access(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> bool:
-        cache_set = self._set_for(line_addr)
-        index = self._find(cache_set, line_addr)
+        cache_set = self._sets[line_addr & self._set_mask]
+        # The inlined find loop (vs a _find call) matters: this is the
+        # single most-called method in a simulation.
+        index = -1
+        for i, line in enumerate(cache_set):
+            if line.line_addr == line_addr:
+                index = i
+                break
         if index < 0:
             return False
-        line = cache_set[index]
         if ctx.lock:
             line.locked = True
             line.owner = ctx.thread_id
         elif ctx.unlock and line.owner == ctx.thread_id:
             line.locked = False
-        self.policy.on_hit(cache_set, index)
+        if self._lru_hits:
+            if index:
+                cache_set.insert(0, cache_set.pop(index))
+        elif not self._noop_hits:
+            self._policy.on_hit(cache_set, index)
         return True
 
     def fill(self, line_addr: int,
              ctx: AccessContext = DEFAULT_CONTEXT) -> Optional[int]:
-        cache_set = self._set_for(line_addr)
-        if self._find(cache_set, line_addr) >= 0:
-            return None
+        cache_set = self._sets[line_addr & self._set_mask]
+        for line in cache_set:
+            if line.line_addr == line_addr:
+                return None
         evicted: Optional[int] = None
         if len(cache_set) >= self.associativity:
-            victim = self.policy.choose_victim(
-                cache_set, self._evictable_indices(cache_set, ctx))
+            if self._max_victims:
+                # Inlined max(evictable): scan from the LRU end for the
+                # first line the requester may displace.
+                victim: Optional[int] = None
+                lock = ctx.lock
+                thread_id = ctx.thread_id
+                for i in range(len(cache_set) - 1, -1, -1):
+                    line = cache_set[i]
+                    if not line.locked or (lock and line.owner == thread_id):
+                        victim = i
+                        break
+            else:
+                victim = self._policy.choose_victim(
+                    cache_set, self._evictable_indices(cache_set, ctx))
             if victim is None:
                 return None  # every way locked by others: fill refused
             evicted = cache_set.pop(victim).line_addr
         new_line = LineState(line_addr, owner=ctx.thread_id, domain=ctx.domain,
                              locked=ctx.lock)
-        self.policy.on_fill(cache_set, new_line)
+        if self._mru_fills:
+            cache_set.insert(0, new_line)
+        else:
+            self._policy.on_fill(cache_set, new_line)
         return evicted
 
     def invalidate(self, line_addr: int) -> bool:

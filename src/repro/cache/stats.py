@@ -2,27 +2,50 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 
-
-@dataclass
 class CacheStats:
     """Event counters for one cache level.
 
     ``demand_misses`` follows the paper's MPKI definition: misses that
     cause a fetch request to the next level, *excluding* outstanding
     misses to the same cache line (those are counted in ``mshr_merges``).
+
+    A ``__slots__`` class rather than a dataclass: several counters are
+    incremented on every simulated access, and slot stores are the
+    cheapest attribute writes Python offers.
     """
 
-    accesses: int = 0
-    hits: int = 0
-    demand_misses: int = 0
-    mshr_merges: int = 0
-    fills: int = 0
-    evictions: int = 0
-    random_fill_issued: int = 0
-    random_fill_dropped: int = 0
-    next_level_requests: int = 0
+    _FIELDS = ("accesses", "hits", "demand_misses", "mshr_merges",
+               "fills", "evictions", "random_fill_issued",
+               "random_fill_dropped", "next_level_requests")
+
+    __slots__ = _FIELDS
+
+    def __init__(self, accesses: int = 0, hits: int = 0,
+                 demand_misses: int = 0, mshr_merges: int = 0,
+                 fills: int = 0, evictions: int = 0,
+                 random_fill_issued: int = 0, random_fill_dropped: int = 0,
+                 next_level_requests: int = 0):
+        self.accesses = accesses
+        self.hits = hits
+        self.demand_misses = demand_misses
+        self.mshr_merges = mshr_merges
+        self.fills = fills
+        self.evictions = evictions
+        self.random_fill_issued = random_fill_issued
+        self.random_fill_dropped = random_fill_dropped
+        self.next_level_requests = next_level_requests
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in CacheStats._FIELDS)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{name}={getattr(self, name)}"
+                           for name in CacheStats._FIELDS)
+        return f"CacheStats({fields})"
 
     @property
     def misses(self) -> int:
@@ -41,5 +64,5 @@ class CacheStats:
         return 1000.0 * self.demand_misses / instructions
 
     def reset(self) -> None:
-        for name in self.__dataclass_fields__:
+        for name in CacheStats._FIELDS:
             setattr(self, name, 0)

@@ -16,8 +16,13 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.window import RandomFillWindow, encode_range_registers
+from repro.core.window import DISABLED_WINDOW, RandomFillWindow, \
+    encode_range_registers
 from repro.util.rng import HardwareRng
+
+#: Pre-derived draw parameters of the disabled window: ``a`` = 0,
+#: power-of-two mask 0, size 1 (see ``RandomFillEngine.set_window``).
+_DISABLED_PARAMS = (0, 0, 1)
 
 
 class RandomFillEngine:
@@ -26,15 +31,20 @@ class RandomFillEngine:
     def __init__(self, rng: HardwareRng):
         self._rng = rng
         self._windows: Dict[int, RandomFillWindow] = {}
+        # thread_id -> (a, mask-or-None, size), derived once per
+        # set_window so the per-miss path skips the window properties.
+        self._params: Dict[int, "tuple"] = {}
 
     # -- register file -----------------------------------------------------
 
     def window_for(self, thread_id: int) -> RandomFillWindow:
         """Current window of a hardware thread (default: disabled)."""
-        return self._windows.get(thread_id, RandomFillWindow.disabled_window())
+        return self._windows.get(thread_id, DISABLED_WINDOW)
 
     def set_window(self, thread_id: int, window: RandomFillWindow) -> None:
         self._windows[thread_id] = window
+        mask = (window.size - 1) if window.is_power_of_two else None
+        self._params[thread_id] = (window.a, mask, window.size)
 
     def range_registers(self, thread_id: int) -> "tuple[int, int]":
         """The raw (RR1, RR2) encoding, for context save (PCB)."""
@@ -49,11 +59,10 @@ class RandomFillEngine:
         windows (the plain ``set_RR`` configuration) fall back to an
         exact uniform draw, modelling a modulo-reduction unit.
         """
-        window = self.window_for(thread_id)
-        if window.is_power_of_two:
-            masked = self._rng.draw_masked(window.size - 1)
-            return masked - window.a
-        return self._rng.draw_below(window.size) - window.a
+        a, mask, size = self._params.get(thread_id, _DISABLED_PARAMS)
+        if mask is not None:
+            return self._rng.draw_masked(mask) - a
+        return self._rng.draw_below(size) - a
 
     def generate(self, demand_line: int, thread_id: int) -> int:
         """Random fill line address for a demand miss to ``demand_line``."""

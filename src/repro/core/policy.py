@@ -13,7 +13,7 @@ cache" (Section IV-B.3).
 from __future__ import annotations
 
 from repro.cache.context import AccessContext
-from repro.cache.controller import FillPolicy, MissPlan
+from repro.cache.controller import FillPolicy, MissPlan, NORMAL_PLAN
 from repro.cache.mshr import RequestType
 from repro.core.engine import RandomFillEngine
 
@@ -23,10 +23,17 @@ class RandomFillPolicy(FillPolicy):
 
     def __init__(self, engine: RandomFillEngine):
         self.engine = engine
+        # Reused across misses — the controller consumes each plan
+        # before asking for the next, so one mutable instance suffices.
+        self._nofill_plan = MissPlan(RequestType.NOFILL)
 
     def on_miss(self, line_addr: int, ctx: AccessContext) -> MissPlan:
-        window = self.engine.window_for(ctx.thread_id)
-        if window.disabled:
-            return MissPlan(RequestType.NORMAL)
-        fill_line = self.engine.generate(line_addr, ctx.thread_id)
-        return MissPlan(RequestType.NOFILL, (fill_line,))
+        engine = self.engine
+        thread_id = ctx.thread_id
+        window = engine.window_for(thread_id)
+        if window.a == 0 and window.b == 0:  # disabled: pure demand fetch
+            return NORMAL_PLAN
+        plan = self._nofill_plan
+        plan.random_fill_lines = (
+            line_addr + engine.random_offset(thread_id),)
+        return plan

@@ -72,7 +72,7 @@ class RandomFillWindow:
 
     @classmethod
     def disabled_window(cls) -> "RandomFillWindow":
-        return cls(0, 0)
+        return DISABLED_WINDOW
 
     @classmethod
     def from_pow2(cls, lower_bound: int, n: int) -> "RandomFillWindow":
@@ -116,6 +116,12 @@ class RandomFillWindow:
             raise ValueError(f"bidirectional window size must be a power of two, got {size}")
         half = size // 2
         return cls(half, half - 1)
+
+
+#: Shared disabled-window instance.  ``RandomFillWindow`` is immutable,
+#: so the zero window can be a singleton — the random fill engine asks
+#: for it on every miss of a thread with cleared range registers.
+DISABLED_WINDOW = RandomFillWindow(0, 0)
 
 
 def encode_range_registers(window: RandomFillWindow) -> "tuple[int, int]":

@@ -20,7 +20,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cache.context import AccessContext
 from repro.cache.controller import L1Controller
-from repro.cpu.timing import SimResult, _MlpWindow
+from repro.cpu.timing import (
+    CHARGED_PRUNE_THRESHOLD,
+    SimResult,
+    _MlpWindow,
+    prune_charged,
+)
 from repro.cpu.trace import TraceRecord
 
 
@@ -111,6 +116,10 @@ def run_smt(l1: L1Controller, threads: Sequence[SmtThread],
             state.charged[result.line_addr] = result.ready_at
             state.now += hit_cost + result.stalled_for_mshr
             state.now = state.window.note_miss(state.now, result.ready_at)
+        if len(state.charged) >= CHARGED_PRUNE_THRESHOLD:
+            # Bound per-thread charge tracking exactly as TimingModel.run
+            # does: stale completions never change timing.
+            state.charged = prune_charged(state.charged, state.now)
     for state in states:
         state.now = state.window.settle(state.now)
     l1.settle()

@@ -65,6 +65,20 @@ class SimResult:
         return 1000.0 * self.l2_demand_misses / self.instructions
 
 
+#: ``charged`` (line -> completion cycle already paid for) only needs
+#: entries for lines still in flight; once this many entries accumulate
+#: the past ones are swept out.  Entries whose completion cycle has
+#: passed never change timing (their exposed stall is <= 0), so eviction
+#: is invisible to results — it only bounds memory on long traces with
+#: many unique lines.
+CHARGED_PRUNE_THRESHOLD = 8192
+
+
+def prune_charged(charged: dict, now: int) -> dict:
+    """Drop charge records whose completion cycle has already passed."""
+    return {line: ready for line, ready in charged.items() if ready > now}
+
+
 class _MlpWindow:
     """Amortized cost model for overlapping demand misses.
 
@@ -124,6 +138,13 @@ class TimingModel:
         width = self.issue_width
         hit_cost = l1.hit_latency
         window = _MlpWindow(self.mlp, self.overlap_credit)
+        # The loop below is the simulator's innermost kernel; everything
+        # it touches per record is hoisted into locals, and the MLP
+        # charging arithmetic of _MlpWindow.note_miss is inlined.
+        access = l1.access
+        mlp = self.mlp
+        credit = self.overlap_credit
+        prune_at = CHARGED_PRUNE_THRESHOLD
 
         l1_acc0 = l1.stats.accesses
         l1_hit0 = l1.stats.hits
@@ -143,14 +164,16 @@ class TimingModel:
         # line -> completion already charged, so a burst of references
         # to one in-flight line pays its wait only once — but the FIRST
         # reference to a line someone else fetched (e.g. a too-late
-        # next-line prefetch) pays the remaining latency.
+        # next-line prefetch) pays the remaining latency.  Pruned once
+        # it exceeds CHARGED_PRUNE_THRESHOLD entries so it cannot grow
+        # with every unique line of a long trace.
         charged: dict = {}
         for addr, gap, write in trace:
             instructions += gap
             issue_backlog += gap
             now += issue_backlog // width
             issue_backlog %= width
-            result = l1.access(addr, now, write_ctx if write else ctx)
+            result = access(addr, now, write_ctx if write else ctx)
             if result.l1_hit:
                 now += hit_cost
             elif result.merged:
@@ -160,11 +183,17 @@ class TimingModel:
                 else:
                     charged[result.line_addr] = completion
                     now += hit_cost
-                    now = window.note_miss(now, completion)
+                    remaining = completion - now - credit
+                    if remaining > 0:
+                        now += (remaining + mlp - 1) // mlp
             else:
                 charged[result.line_addr] = result.ready_at
                 now += hit_cost + result.stalled_for_mshr
-                now = window.note_miss(now, result.ready_at)
+                remaining = result.ready_at - now - credit
+                if remaining > 0:
+                    now += (remaining + mlp - 1) // mlp
+            if len(charged) >= prune_at:
+                charged = prune_charged(charged, now)
         now = window.settle(now)
         l1.settle()
         return SimResult(

@@ -21,8 +21,11 @@ from repro.core.window import RandomFillWindow
 from repro.cpu.smt import SmtThread, run_smt
 from repro.crypto.traced_aes import AesMemoryLayout
 from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
-from repro.experiments.perf_crypto import make_cbc_trace
+from repro.experiments.perf_crypto import cached_cbc_trace, make_cbc_trace
 from repro.experiments.schemes import build_scheme
+from repro.runner.cells import CellSpec
+from repro.runner.pool import run_cells
+from repro.workloads.cache import cached_workload
 from repro.workloads.spec import FIGURE8_ORDER, make_workload
 
 FIGURE8_SCHEMES = ("baseline", "plcache_preload", "random_fill",
@@ -58,10 +61,10 @@ def run_concurrent(scheme_name: str, benchmark: str,
         # Only the cryptographic thread (1) enables random fill.
         scheme.os.set_rr(FIGURE8_WINDOW.a, FIGURE8_WINDOW.b, thread_id=1)
     if spec_trace is None:
-        spec_trace = make_workload(benchmark, n_refs=n_refs, seed=seed)
+        spec_trace = cached_workload(benchmark, n_refs=n_refs, seed=seed)
     if aes_trace is None:
-        aes_trace = make_cbc_trace(message_kb=aes_kb, seed=seed,
-                                   layout=layout, decrypt_too=True)
+        aes_trace = cached_cbc_trace(message_kb=aes_kb, seed=seed,
+                                     decrypt_too=True)
     # PLcache+preload: the crypto thread locks all ten tables up front.
     scheme.prepare(ctx=AccessContext(thread_id=1))
     threads = [
@@ -81,21 +84,28 @@ def figure8(benchmarks: Sequence[str] = FIGURE8_ORDER,
             n_refs: int = 60_000,
             aes_kb: int = 4,
             seed: int = 0,
-            config: SimulatorConfig = BASELINE_CONFIG) -> List[ConcurrentPoint]:
-    """The Figure 8 sweep; normalized to the baseline scheme per cell."""
-    layout = AesMemoryLayout()
-    aes_trace = make_cbc_trace(message_kb=aes_kb, seed=seed, layout=layout,
-                               decrypt_too=True)
-    points: List[ConcurrentPoint] = []
+            config: SimulatorConfig = BASELINE_CONFIG,
+            jobs: Optional[int] = None) -> List[ConcurrentPoint]:
+    """The Figure 8 sweep; normalized to the baseline scheme per cell.
+
+    Cells fan out over the parallel runner (``jobs``/``REPRO_JOBS``).
+    """
+    specs: List[CellSpec] = []
     for size, assoc in cache_configs:
         cfg = config.with_l1d(size, assoc)
         for benchmark in benchmarks:
-            spec_trace = make_workload(benchmark, n_refs=n_refs, seed=seed)
+            for scheme_name in schemes:
+                specs.append(CellSpec(
+                    kind="concurrent", scheme=scheme_name,
+                    benchmark=benchmark, n_refs=n_refs, aes_kb=aes_kb,
+                    seed=seed, config=cfg))
+    results = iter(run_cells(specs, jobs=jobs))
+    points: List[ConcurrentPoint] = []
+    for size, assoc in cache_configs:
+        for benchmark in benchmarks:
             base_ipc: Optional[float] = None
             for scheme_name in schemes:
-                ipc = run_concurrent(scheme_name, benchmark, cfg,
-                                     seed=seed, spec_trace=spec_trace,
-                                     aes_trace=aes_trace)
+                ipc = next(results)
                 if scheme_name == "baseline":
                     base_ipc = ipc
                 points.append(ConcurrentPoint(

@@ -18,6 +18,9 @@ from repro.cpu.timing import SimResult, TimingModel
 from repro.crypto.traced_aes import AesMemoryLayout, TracedAES128
 from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
 from repro.experiments.schemes import Scheme, build_scheme
+from repro.runner.cells import CellSpec
+from repro.runner.pool import run_cells
+from repro.workloads.cache import TRACE_CACHE
 
 #: Figure 6 x-axis: cache sizes and associativities
 FIGURE6_SIZES = (8 * 1024, 16 * 1024, 32 * 1024)
@@ -53,6 +56,26 @@ def make_cbc_trace(message_kb: int = 32, seed: int = 0,
     return trace
 
 
+#: bump whenever :func:`make_cbc_trace` changes output for the same
+#: arguments — it keys the trace cache.
+AES_TRACE_VERSION = 1
+
+
+def cached_cbc_trace(message_kb: int = 32, seed: int = 0,
+                     decrypt_too: bool = False):
+    """`make_cbc_trace` (default layout) through the trace cache.
+
+    Tracing AES-CBC software costs far more than the simulation that
+    consumes the trace, so sweeps that revisit the same message reuse
+    one generation — across schemes in-process and across worker
+    processes via the disk layer.
+    """
+    key = ("cbc", message_kb, seed, decrypt_too, AES_TRACE_VERSION)
+    return TRACE_CACHE.get(
+        key, lambda: make_cbc_trace(message_kb=message_kb, seed=seed,
+                                    decrypt_too=decrypt_too))
+
+
 @dataclass
 class CryptoPerfPoint:
     """One (scheme, cache config) measurement."""
@@ -75,8 +98,7 @@ def run_crypto_workload(scheme_name: str, config: SimulatorConfig,
     scheme = build_scheme(scheme_name, config, seed=seed,
                           protected=protected, window=window)
     if trace is None:
-        trace = make_cbc_trace(message_kb=message_kb, seed=seed,
-                               layout=layout)
+        trace = cached_cbc_trace(message_kb=message_kb, seed=seed)
     start = scheme.prepare()
     timing = TimingModel(scheme.l1, issue_width=config.issue_width,
                          overlap_credit=config.overlap_credit)
@@ -92,22 +114,40 @@ def figure6(sizes: Sequence[int] = FIGURE6_SIZES,
             schemes: Sequence[str] = FIGURE6_SCHEMES,
             message_kb: int = 32,
             seed: int = 0,
-            config: SimulatorConfig = BASELINE_CONFIG) -> List[CryptoPerfPoint]:
-    """The Figure 6 sweep: normalized IPC per scheme per cache config."""
-    layout = AesMemoryLayout()
-    trace = make_cbc_trace(message_kb=message_kb, seed=seed, layout=layout)
-    points: List[CryptoPerfPoint] = []
+            config: SimulatorConfig = BASELINE_CONFIG,
+            jobs: Optional[int] = None) -> List[CryptoPerfPoint]:
+    """The Figure 6 sweep: normalized IPC per scheme per cache config.
+
+    Cells fan out over the parallel runner (``jobs``/``REPRO_JOBS``);
+    each (size, assoc) group carries one extra baseline cell so the
+    normalization denominator exists even when ``schemes`` omits it.
+    """
+    specs: List[CellSpec] = []
     for size in sizes:
         for assoc in assocs:
             cfg = config.with_l1d(size, assoc)
-            base = run_crypto_workload("baseline", cfg, seed=seed,
-                                       trace=trace)
+            specs.append(CellSpec(
+                kind="crypto", scheme="baseline", message_kb=message_kb,
+                seed=seed, config=cfg))
             for scheme_name in schemes:
-                window = FIGURE6_WINDOW if scheme_name == "random_fill" \
-                    else None
-                result = base if scheme_name == "baseline" else \
-                    run_crypto_workload(scheme_name, cfg, window=window,
-                                        seed=seed, trace=trace)
+                if scheme_name == "baseline":
+                    continue
+                window = (FIGURE6_WINDOW.a, FIGURE6_WINDOW.b) \
+                    if scheme_name == "random_fill" else None
+                specs.append(CellSpec(
+                    kind="crypto", scheme=scheme_name, window=window,
+                    message_kb=message_kb, seed=seed, config=cfg))
+    results = iter(run_cells(specs, jobs=jobs))
+    points: List[CryptoPerfPoint] = []
+    for size in sizes:
+        for assoc in assocs:
+            base = next(results)
+            by_scheme = {"baseline": base}
+            for scheme_name in schemes:
+                if scheme_name != "baseline":
+                    by_scheme[scheme_name] = next(results)
+            for scheme_name in schemes:
+                result = by_scheme[scheme_name]
                 points.append(CryptoPerfPoint(
                     scheme=scheme_name, l1_size=size, l1_assoc=assoc,
                     window_size=(FIGURE6_WINDOW.size
@@ -130,23 +170,30 @@ def figure7(window_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32),
             configs: Sequence[Tuple[str, str, int, int]] = FIGURE7_CONFIGS,
             message_kb: int = 32, seed: int = 0,
             config: SimulatorConfig = BASELINE_CONFIG,
+            jobs: Optional[int] = None,
             ) -> Dict[str, List[Tuple[int, float]]]:
     """The Figure 7 sweep: normalized IPC vs bidirectional window size.
 
     Window size 1 is the demand-fetch reference each curve is
-    normalized to (the zeroed range registers).
+    normalized to (the zeroed range registers).  Cells fan out over the
+    parallel runner (``jobs``/``REPRO_JOBS``).
     """
-    layout = AesMemoryLayout()
-    trace = make_cbc_trace(message_kb=message_kb, seed=seed, layout=layout)
-    series: Dict[str, List[Tuple[int, float]]] = {}
+    specs: List[CellSpec] = []
     for label, scheme_name, size, assoc in configs:
         cfg = config.with_l1d(size, assoc)
+        for w in window_sizes:
+            window = RandomFillWindow.bidirectional(w)
+            specs.append(CellSpec(
+                kind="crypto", scheme=scheme_name,
+                window=(window.a, window.b), message_kb=message_kb,
+                seed=seed, config=cfg))
+    results = iter(run_cells(specs, jobs=jobs))
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for label, scheme_name, size, assoc in configs:
         base_ipc = None
         points: List[Tuple[int, float]] = []
         for w in window_sizes:
-            window = RandomFillWindow.bidirectional(w)
-            result = run_crypto_workload(scheme_name, cfg, window=window,
-                                         seed=seed, trace=trace)
+            result = next(results)
             if base_ipc is None:
                 base_ipc = result.ipc
             points.append((w, result.ipc / base_ipc))

@@ -12,7 +12,9 @@ the streaming benchmarks.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.profiling import ProfileResult, profile_reference_ratio
@@ -20,6 +22,9 @@ from repro.core.window import RandomFillWindow
 from repro.cpu.timing import SimResult, TimingModel
 from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
 from repro.experiments.schemes import build_scheme
+from repro.runner.cells import CellSpec
+from repro.runner.pool import run_cells
+from repro.workloads.cache import cached_workload
 from repro.workloads.spec import FIGURE8_ORDER, make_workload
 
 #: Figure 10's window sweep: [0,0] is demand fetch; [0,b] forward;
@@ -41,16 +46,18 @@ def figure9(benchmarks: Sequence[str] = FIGURE10_ORDER,
             n_refs: int = 100_000,
             window: RandomFillWindow = RandomFillWindow(16, 15),
             config: SimulatorConfig = BASELINE_CONFIG,
-            seed: int = 0) -> Dict[str, ProfileResult]:
-    """Eff(d) profiles per benchmark (Figure 9)."""
-    profiles: Dict[str, ProfileResult] = {}
-    for benchmark in benchmarks:
-        trace = make_workload(benchmark, n_refs=n_refs, seed=seed)
-        profiles[benchmark] = profile_reference_ratio(
-            trace, window,
-            l1_size=config.l1d_size, l1_assoc=config.l1d_assoc,
-            line_size=config.line_size, seed=seed)
-    return profiles
+            seed: int = 0,
+            jobs: Optional[int] = None) -> Dict[str, ProfileResult]:
+    """Eff(d) profiles per benchmark (Figure 9).
+
+    One cell per benchmark, fanned over the parallel runner.
+    """
+    specs = [CellSpec(kind="profile", benchmark=benchmark,
+                      window=(window.a, window.b), n_refs=n_refs,
+                      seed=seed, config=config)
+             for benchmark in benchmarks]
+    results = run_cells(specs, jobs=jobs)
+    return dict(zip(benchmarks, results))
 
 
 @dataclass
@@ -65,6 +72,37 @@ class GeneralPerfPoint:
         return window_label(*self.window)
 
 
+#: Memo of warm-prefix line footprints, keyed by trace identity (the
+#: stored trace reference keeps the id valid; an id reused by a *new*
+#: object fails the identity check and recomputes).  A Figure 10 sweep
+#: warms the same trace once per window, so the dedup scan — pure
+#: function of the trace — is shared across cells.
+_WARM_FOOTPRINTS: "OrderedDict[tuple, tuple]" = OrderedDict()
+_WARM_FOOTPRINTS_MAX = 8
+
+
+def _warm_footprint(trace, split: int, line_bits: int) -> List[int]:
+    """Consecutive-deduped line addresses of ``trace[:split]``."""
+    key = (id(trace), split, line_bits)
+    memo = _WARM_FOOTPRINTS
+    hit = memo.get(key)
+    if hit is not None and hit[0] is trace:
+        memo.move_to_end(key)
+        return hit[1]
+    lines: List[int] = []
+    append = lines.append
+    seen_last = -1
+    for addr, _gap, _write in islice(trace, split):
+        line = addr >> line_bits
+        if line != seen_last:
+            seen_last = line
+            append(line)
+    memo[key] = (trace, lines)
+    while len(memo) > _WARM_FOOTPRINTS_MAX:
+        memo.popitem(last=False)
+    return lines
+
+
 def warm_l2(scheme, trace) -> None:
     """Pre-warm the L2 with a trace prefix's line footprint.
 
@@ -77,14 +115,16 @@ def warm_l2(scheme, trace) -> None:
     """
     store = scheme.hierarchy.l2.tag_store
     line_bits = scheme.config.line_size.bit_length() - 1
+    access = store.access
+    fill = store.fill
     seen_last = -1
     for addr, _gap, _write in trace:
         line = addr >> line_bits
         if line == seen_last:
             continue
         seen_last = line
-        if not store.access(line):
-            store.fill(line)
+        if not access(line):
+            fill(line)
 
 
 def run_general_workload(benchmark: str, window: Tuple[int, int],
@@ -103,13 +143,22 @@ def run_general_workload(benchmark: str, window: Tuple[int, int],
     if scheme.os is not None:
         scheme.os.set_rr(a, b)
     if trace is None:
-        trace = make_workload(benchmark, n_refs=n_refs, seed=seed)
+        trace = cached_workload(benchmark, n_refs=n_refs, seed=seed)
     if warm:
         # Warm on the first half, measure the second — reused working
-        # sets are resident, touch-once stream fronts stay cold.
+        # sets are resident, touch-once stream fronts stay cold.  The
+        # halves are islice views, not sliced copies: the trace may be
+        # shared through the trace cache and must not be duplicated
+        # (or mutated) per cell.
         split = len(trace) // 2
-        warm_l2(scheme, trace[:split])
-        trace = trace[split:]
+        store = scheme.hierarchy.l2.tag_store
+        line_bits = scheme.config.line_size.bit_length() - 1
+        access = store.access
+        fill = store.fill
+        for line in _warm_footprint(trace, split, line_bits):
+            if not access(line):
+                fill(line)
+        trace = islice(trace, split, None)
     timing = TimingModel(scheme.l1, issue_width=config.issue_width,
                          overlap_credit=config.overlap_credit)
     return timing.run(trace)
@@ -119,15 +168,23 @@ def figure10(benchmarks: Sequence[str] = FIGURE10_ORDER,
              windows: Sequence[Tuple[int, int]] = FIGURE10_WINDOWS,
              config: SimulatorConfig = BASELINE_CONFIG,
              n_refs: int = 100_000,
-             seed: int = 0) -> List[GeneralPerfPoint]:
-    """The Figure 10 sweep: L1 MPKI and IPC per benchmark per window."""
+             seed: int = 0,
+             jobs: Optional[int] = None) -> List[GeneralPerfPoint]:
+    """The Figure 10 sweep: L1 MPKI and IPC per benchmark per window.
+
+    Each (benchmark, window) cell fans out over the parallel runner;
+    results are regrouped in sweep order, so the output is identical to
+    the sequential nested loop for any ``jobs``.
+    """
+    specs = [CellSpec(kind="general", benchmark=benchmark, window=window,
+                      n_refs=n_refs, seed=seed, config=config)
+             for benchmark in benchmarks for window in windows]
+    results = iter(run_cells(specs, jobs=jobs))
     points: List[GeneralPerfPoint] = []
     for benchmark in benchmarks:
-        trace = make_workload(benchmark, n_refs=n_refs, seed=seed)
         base_ipc: Optional[float] = None
         for window in windows:
-            result = run_general_workload(benchmark, window, config=config,
-                                          seed=seed, trace=trace)
+            result = next(results)
             if base_ipc is None:
                 base_ipc = result.ipc
             points.append(GeneralPerfPoint(
@@ -140,7 +197,8 @@ def prefetcher_comparison(benchmarks: Sequence[str] = ("lbm", "libquantum"),
                           best_windows: Dict[str, Tuple[int, int]] = None,
                           config: SimulatorConfig = BASELINE_CONFIG,
                           n_refs: int = 100_000,
-                          seed: int = 0) -> List[Dict[str, float]]:
+                          seed: int = 0,
+                          jobs: Optional[int] = None) -> List[Dict[str, float]]:
     """Section VII: tagged prefetcher vs random fill on streaming apps.
 
     The paper: tagged prefetcher improves IPC by 11% (lbm) / 26%
@@ -149,16 +207,23 @@ def prefetcher_comparison(benchmarks: Sequence[str] = ("lbm", "libquantum"),
     """
     if best_windows is None:
         best_windows = {"lbm": (0, 15), "libquantum": (0, 15)}
+    specs: List[CellSpec] = []
+    for benchmark in benchmarks:
+        specs.append(CellSpec(kind="general", benchmark=benchmark,
+                              window=(0, 0), n_refs=n_refs, seed=seed,
+                              config=config))
+        specs.append(CellSpec(kind="general", scheme="tagged_prefetch",
+                              benchmark=benchmark, window=(0, 0),
+                              n_refs=n_refs, seed=seed, config=config))
+        specs.append(CellSpec(kind="general", benchmark=benchmark,
+                              window=best_windows[benchmark], n_refs=n_refs,
+                              seed=seed, config=config))
+    results = iter(run_cells(specs, jobs=jobs))
     rows: List[Dict[str, float]] = []
     for benchmark in benchmarks:
-        trace = make_workload(benchmark, n_refs=n_refs, seed=seed)
-        base = run_general_workload(benchmark, (0, 0), config=config,
-                                    seed=seed, trace=trace)
-        tagged = run_general_workload(benchmark, (0, 0), config=config,
-                                      seed=seed, trace=trace,
-                                      scheme_name="tagged_prefetch")
-        rf = run_general_workload(benchmark, best_windows[benchmark],
-                                  config=config, seed=seed, trace=trace)
+        base = next(results)
+        tagged = next(results)
+        rf = next(results)
         rows.append({
             "benchmark": benchmark,
             "baseline_ipc": base.ipc,

@@ -32,33 +32,39 @@ class AddressMap:
     line_size: int
     num_sets: int
 
+    # The shift/mask values are hot-path constants (every cache access
+    # goes through them), so they are computed once here rather than on
+    # each call.
     def __post_init__(self) -> None:
-        _log2_exact(self.line_size, "line_size")
-        _log2_exact(self.num_sets, "num_sets")
+        object.__setattr__(self, "_line_bits",
+                           _log2_exact(self.line_size, "line_size"))
+        object.__setattr__(self, "_set_bits",
+                           _log2_exact(self.num_sets, "num_sets"))
+        object.__setattr__(self, "_set_mask", self.num_sets - 1)
 
     @property
     def line_bits(self) -> int:
-        return self.line_size.bit_length() - 1
+        return self._line_bits
 
     @property
     def set_bits(self) -> int:
-        return self.num_sets.bit_length() - 1
+        return self._set_bits
 
     def line_of(self, byte_addr: int) -> int:
         """Line address of a byte address."""
-        return byte_addr >> self.line_bits
+        return byte_addr >> self._line_bits
 
     def byte_of_line(self, line_addr: int) -> int:
         """First byte address of a line."""
-        return line_addr << self.line_bits
+        return line_addr << self._line_bits
 
     def set_of_line(self, line_addr: int) -> int:
         """Set index of a line address."""
-        return line_addr & (self.num_sets - 1)
+        return line_addr & self._set_mask
 
     def tag_of_line(self, line_addr: int) -> int:
         """Tag of a line address (bits above the set index)."""
-        return line_addr >> self.set_bits
+        return line_addr >> self._set_bits
 
     def set_of(self, byte_addr: int) -> int:
         return self.set_of_line(self.line_of(byte_addr))

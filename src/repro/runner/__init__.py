@@ -1,0 +1,32 @@
+"""Parallel experiment runner.
+
+The paper's evaluation is a grid of independent simulation *cells* —
+(scheme, benchmark, window, seed) combinations that share no state.
+This package turns a figure sweep into an explicit list of picklable
+:class:`CellSpec` values and fans them over worker processes:
+
+* :mod:`repro.runner.cells` — the cell vocabulary and the pure
+  ``run_cell`` function every worker executes,
+* :mod:`repro.runner.pool` — ``run_cells`` (ordered fan-out over a
+  ``ProcessPoolExecutor``) and the ``REPRO_JOBS`` job-count knob,
+* :mod:`repro.runner.report` — merge wall-clock / throughput numbers
+  into ``BENCH_runner.json``.
+
+Because ``run_cell`` is a pure function of its spec (fresh scheme,
+deterministically derived RNG seeds, trace regenerated or loaded from
+the content-addressed trace cache), a sweep's results are bit-identical
+whether it runs inline, across 2 workers, or across 32.
+"""
+
+from repro.runner.cells import CellSpec, run_cell
+from repro.runner.pool import last_run_stats, resolve_jobs, run_cells
+from repro.runner.report import record_bench
+
+__all__ = [
+    "CellSpec",
+    "last_run_stats",
+    "record_bench",
+    "resolve_jobs",
+    "run_cell",
+    "run_cells",
+]

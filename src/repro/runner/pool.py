@@ -1,0 +1,73 @@
+"""Ordered fan-out of sweep cells over worker processes.
+
+``run_cells`` is the single entry point every figure sweep funnels
+through.  Results always come back in spec order, so callers regroup
+them positionally regardless of which worker finished first.
+
+Job count resolution (first match wins):
+
+1. an explicit ``jobs=`` argument (``--jobs`` on the CLI),
+2. the ``REPRO_JOBS`` environment variable,
+3. ``os.cpu_count()``.
+
+``jobs == 1`` (or a single cell) runs inline — no executor, no pickle
+round-trip — which is also what keeps the whole suite usable on
+single-core machines and under debuggers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.cells import CellSpec, run_cell
+
+#: statistics of the most recent ``run_cells`` call in this process
+_LAST_RUN: Dict[str, float] = {}
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: argument > ``REPRO_JOBS`` > cpu count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            jobs = int(env)
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def run_cells(specs: Sequence[CellSpec], jobs: Optional[int] = None,
+              chunksize: Optional[int] = None) -> List:
+    """Run every cell; returns results in the order of ``specs``.
+
+    ``jobs`` follows :func:`resolve_jobs`; ``chunksize`` (pool mode
+    only) defaults to ``len(specs) // (jobs * 4)`` so each worker gets
+    several batches, balancing stragglers against pickle overhead.
+    """
+    jobs = resolve_jobs(jobs)
+    started = time.perf_counter()
+    if jobs == 1 or len(specs) <= 1:
+        results = [run_cell(spec) for spec in specs]
+        jobs_used = 1
+    else:
+        jobs_used = min(jobs, len(specs))
+        if chunksize is None:
+            chunksize = max(1, len(specs) // (jobs_used * 4))
+        with ProcessPoolExecutor(max_workers=jobs_used) as pool:
+            results = list(pool.map(run_cell, specs, chunksize=chunksize))
+    elapsed = time.perf_counter() - started
+    _LAST_RUN.clear()
+    _LAST_RUN.update(
+        cells=len(specs), jobs=jobs_used, seconds=elapsed,
+        cells_per_sec=(len(specs) / elapsed) if elapsed > 0 else 0.0)
+    return results
+
+
+def last_run_stats() -> Dict[str, float]:
+    """Timing of the most recent :func:`run_cells` call (a copy)."""
+    return dict(_LAST_RUN)

@@ -1,0 +1,50 @@
+"""Benchmark reporting: merge runner timings into ``BENCH_runner.json``.
+
+The file is a flat ``{entry_name: payload}`` JSON object so repeated
+benchmark runs update their own entry without clobbering the others.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+#: default report file, at the repository root when run from there
+DEFAULT_REPORT_PATH = "BENCH_runner.json"
+
+
+def load_report(path: str = DEFAULT_REPORT_PATH) -> Dict[str, dict]:
+    """Current report contents (empty dict when absent or corrupt)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def record_bench(name: str, payload: dict,
+                 path: str = DEFAULT_REPORT_PATH) -> Dict[str, dict]:
+    """Merge ``payload`` under ``name`` in the report; returns the report.
+
+    The write is atomic (temp file + ``os.replace``) so concurrent
+    benchmark processes cannot interleave partial JSON.
+    """
+    report = load_report(path)
+    report[name] = payload
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return report

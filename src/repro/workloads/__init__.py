@@ -1,7 +1,9 @@
 """Synthetic workload generators standing in for SPEC CPU2006."""
 
+from repro.workloads.cache import TRACE_CACHE, TraceCache, cached_workload
 from repro.workloads.spec import (
     FIGURE8_ORDER,
+    GENERATOR_VERSION,
     SPEC_BENCHMARKS,
     STREAMING_BENCHMARKS,
     WORKLOAD_BASE,
@@ -16,9 +18,13 @@ from repro.workloads.synthetic import (
 
 __all__ = [
     "FIGURE8_ORDER",
+    "GENERATOR_VERSION",
     "SPEC_BENCHMARKS",
     "STREAMING_BENCHMARKS",
+    "TRACE_CACHE",
+    "TraceCache",
     "WORKLOAD_BASE",
+    "cached_workload",
     "locality_mixture",
     "make_workload",
     "pointer_chase",

@@ -29,6 +29,11 @@ from repro.workloads.synthetic import (
 #: base address for workload data, clear of the AES layout regions
 WORKLOAD_BASE = 0x100_0000
 
+#: bump whenever any generator's output changes for the same
+#: (name, n_refs, seed) — it keys the on-disk trace cache, so stale
+#: cached traces are invalidated automatically.
+GENERATOR_VERSION = 1
+
 _GeneratorFn = Callable[[int, int], List[TraceRecord]]
 
 

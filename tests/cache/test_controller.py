@@ -156,3 +156,33 @@ class TestFillReserve:
     def test_multi_mshr_reserves_one(self):
         l1 = make_l1(mshr_entries=4)
         assert l1.fill_reserve == 1
+
+
+class TestSettleTermination:
+    """settle() must terminate when fill requests are pinned behind the
+    MSHR demand reserve and nothing can retire — the state that used to
+    spin forever via a bare ``continue``."""
+
+    def _parked_state(self):
+        l1 = make_l1(mshr_entries=2)   # fill_reserve=1 -> 1 slot for fills
+        l1.policy = StubNofillPolicy(extra=999)
+        l1.access(0 * 64, now=0)       # miss; extra fill request parks
+        l1.access(1 * 64, now=0)       # second miss: MSHRs now full
+        assert len(l1.miss_queue) == 2
+        assert len(l1.fill_queue) >= 1
+        return l1
+
+    def test_bounded_settle_drops_parked_fills(self):
+        l1 = self._parked_state()
+        parked = len(l1.fill_queue)
+        dropped0 = l1.stats.random_fill_dropped
+        l1.settle(now=0)               # nothing completes by cycle 0
+        assert len(l1.fill_queue) == 0
+        assert len(l1.miss_queue) == 0
+        assert l1.stats.random_fill_dropped == dropped0 + parked
+
+    def test_unbounded_settle_completes(self):
+        l1 = self._parked_state()
+        l1.settle()
+        assert len(l1.fill_queue) == 0
+        assert len(l1.miss_queue) == 0

@@ -87,3 +87,24 @@ class TestTimingModel:
     def test_ipc_zero_for_empty(self):
         model, _ = make_model()
         assert model.run([]).ipc == 0.0
+
+
+class TestChargedPrune:
+    def test_prune_threshold_is_invisible_to_results(self, monkeypatch):
+        """Sweeping the charged map early vs. never must not change
+        timing: pruned entries are exactly those that can no longer
+        contribute a positive exposed stall."""
+        import repro.cpu.timing as timing
+        from repro.experiments.perf_general import run_general_workload
+        from repro.workloads.spec import make_workload
+
+        trace = make_workload("milc", n_refs=6000, seed=3)
+        baseline = run_general_workload("milc", (0, 7), trace=trace, seed=3)
+        monkeypatch.setattr(timing, "CHARGED_PRUNE_THRESHOLD", 16)
+        aggressive = run_general_workload("milc", (0, 7), trace=trace, seed=3)
+        assert aggressive == baseline
+
+    def test_prune_charged_drops_only_past_entries(self):
+        from repro.cpu.timing import prune_charged
+        charged = {1: 10, 2: 50, 3: 30}
+        assert prune_charged(charged, now=30) == {2: 50}

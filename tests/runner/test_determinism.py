@@ -1,0 +1,48 @@
+"""Seed-determinism regressions.
+
+A cell is a pure function of its spec: the same ``CellSpec`` must give
+bit-identical results run inline, through the worker pool, or with its
+trace served by the trace cache.  These tests pin the property the
+parallel runner's correctness rests on.
+"""
+
+from repro.experiments.perf_general import figure10, run_general_workload
+from repro.runner.cells import CellSpec, run_cell
+from repro.runner.pool import run_cells
+from repro.workloads import cache as cache_mod
+from repro.workloads.spec import make_workload
+
+
+def test_run_cell_is_repeatable():
+    spec = CellSpec(kind="general", benchmark="bzip2", window=(4, 3),
+                    n_refs=3000, seed=7)
+    assert run_cell(spec) == run_cell(spec)
+
+
+def test_cached_trace_matches_fresh_trace(monkeypatch):
+    monkeypatch.setattr(cache_mod.TRACE_CACHE, "disk_dir", None)
+    cache_mod.TRACE_CACHE.clear_memory()
+    trace = make_workload("hmmer", n_refs=3000, seed=1)
+    fresh = run_general_workload("hmmer", (0, 3), n_refs=3000, seed=1,
+                                 trace=trace)
+    cached = run_general_workload("hmmer", (0, 3), n_refs=3000, seed=1)
+    assert cached == fresh
+
+
+def test_pool_matches_inline():
+    specs = [CellSpec(kind="general", benchmark=benchmark, window=window,
+                      n_refs=2000, seed=5)
+             for benchmark in ("milc", "libquantum")
+             for window in ((0, 0), (0, 7))]
+    assert run_cells(specs, jobs=2) == run_cells(specs, jobs=1)
+
+
+def test_figure10_is_jobs_invariant():
+    kwargs = dict(benchmarks=("hmmer",), windows=((0, 0), (0, 3), (2, 1)),
+                  n_refs=2000, seed=9)
+    sequential = figure10(jobs=1, **kwargs)
+    parallel = figure10(jobs=2, **kwargs)
+    assert [(p.benchmark, p.window, p.result, p.normalized_ipc)
+            for p in sequential] == \
+           [(p.benchmark, p.window, p.result, p.normalized_ipc)
+            for p in parallel]

@@ -1,0 +1,68 @@
+"""Tests for job resolution and the ordered cell fan-out."""
+
+import os
+
+import pytest
+
+from repro.runner.cells import CELL_KINDS, CellSpec, run_cell
+from repro.runner.pool import last_run_stats, resolve_jobs, run_cells
+
+
+class TestResolveJobs:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_beats_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs() == 7
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_rejects_nonpositive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestCellSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            CellSpec(kind="nope")
+
+    def test_kinds_are_valid(self):
+        for kind in CELL_KINDS:
+            CellSpec(kind=kind, benchmark="hmmer", window=(0, 3))
+
+
+def _specs(n_refs=2000):
+    return [CellSpec(kind="general", benchmark=benchmark, window=window,
+                     n_refs=n_refs, seed=4)
+            for benchmark in ("hmmer", "lbm")
+            for window in ((0, 0), (0, 3))]
+
+
+class TestRunCells:
+    def test_inline_matches_run_cell(self):
+        specs = _specs()
+        assert run_cells(specs, jobs=1) == [run_cell(s) for s in specs]
+
+    def test_pool_preserves_spec_order(self):
+        specs = _specs()
+        assert run_cells(specs, jobs=2) == run_cells(specs, jobs=1)
+
+    def test_empty_spec_list(self):
+        assert run_cells([], jobs=4) == []
+
+    def test_last_run_stats(self):
+        specs = _specs()
+        run_cells(specs, jobs=1)
+        stats = last_run_stats()
+        assert stats["cells"] == len(specs)
+        assert stats["jobs"] == 1
+        assert stats["seconds"] > 0
+        assert stats["cells_per_sec"] > 0

@@ -1,0 +1,113 @@
+"""Unit tests for the two-layer (memory LRU + disk) trace cache."""
+
+import pickle
+
+import pytest
+
+from repro.workloads import cache as cache_mod
+from repro.workloads.cache import TraceCache, cached_workload, default_cache_dir
+from repro.workloads.spec import GENERATOR_VERSION, make_workload
+
+
+def memory_only(**kwargs):
+    return TraceCache(use_default_disk_dir=False, **kwargs)
+
+
+class TestMemoryLayer:
+    def test_maker_called_once_per_key(self):
+        cache = memory_only()
+        calls = []
+
+        def maker():
+            calls.append(1)
+            return [(1, 2, 0)]
+
+        key = ("spec", "x", 1, 0, GENERATOR_VERSION)
+        first = cache.get(key, maker)
+        second = cache.get(key, maker)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.stats() == (1, 0, 1)
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = memory_only(memory_entries=2)
+        made = []
+
+        def maker_for(key):
+            return lambda: (made.append(key), [key])[1]
+
+        cache.get("a", maker_for("a"))
+        cache.get("b", maker_for("b"))
+        cache.get("a", maker_for("a"))  # refresh "a"
+        cache.get("c", maker_for("c"))  # evicts "b", the LRU entry
+        cache.get("b", maker_for("b"))  # regenerated
+        assert made == ["a", "b", "c", "b"]
+
+    def test_clear_memory(self):
+        cache = memory_only()
+        cache.get("k", lambda: [(0, 0, 0)])
+        cache.clear_memory()
+        cache.get("k", lambda: [(0, 0, 0)])
+        assert cache.misses == 2
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            memory_only(memory_entries=0)
+
+
+class TestDiskLayer:
+    def test_round_trip_across_instances(self, tmp_path):
+        key = ("spec", "demo", 4, 0, GENERATOR_VERSION)
+        trace = [(64 * i, 1, 0) for i in range(4)]
+        writer = TraceCache(disk_dir=str(tmp_path))
+        assert writer.get(key, lambda: trace) is trace
+        reader = TraceCache(disk_dir=str(tmp_path))
+        again = reader.get(key, lambda: pytest.fail("expected a disk hit"))
+        assert again == trace
+        assert reader.stats() == (0, 1, 0)
+
+    def test_version_bump_orphans_old_entries(self, tmp_path):
+        old_key = ("spec", "demo", 4, 0, GENERATOR_VERSION)
+        new_key = ("spec", "demo", 4, 0, GENERATOR_VERSION + 1)
+        TraceCache(disk_dir=str(tmp_path)).get(old_key, lambda: [("old",)])
+        fresh = TraceCache(disk_dir=str(tmp_path))
+        assert fresh.get(new_key, lambda: [("new",)]) == [("new",)]
+        assert fresh.stats() == (0, 0, 1)
+
+    def test_stored_key_is_verified(self, tmp_path):
+        # A file at the right path but recording a different key (hash
+        # collision / hand-edited entry) must not alias.
+        key = ("spec", "demo", 4, 0, GENERATOR_VERSION)
+        path = TraceCache._path_for(str(tmp_path), key)
+        with open(path, "wb") as fh:
+            pickle.dump((("other", "key"), [("bogus",)]), fh)
+        cache = TraceCache(disk_dir=str(tmp_path))
+        assert cache.get(key, lambda: [("real",)]) == [("real",)]
+        assert cache.stats() == (0, 0, 1)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        key = ("k",)
+        path = TraceCache._path_for(str(tmp_path), key)
+        with open(path, "wb") as fh:
+            fh.write(b"definitely not a pickle")
+        cache = TraceCache(disk_dir=str(tmp_path))
+        assert cache.get(key, lambda: [("real",)]) == [("real",)]
+
+    def test_env_disables_disk(self, monkeypatch):
+        for value in ("0", "off", "NONE", " disabled "):
+            monkeypatch.setenv("REPRO_TRACE_CACHE", value)
+            assert default_cache_dir() is None
+            assert TraceCache().disk_dir is None
+
+    def test_env_relocates_disk(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        assert TraceCache().disk_dir == str(tmp_path)
+
+
+class TestCachedWorkload:
+    def test_matches_direct_generation(self, monkeypatch):
+        monkeypatch.setattr(cache_mod.TRACE_CACHE, "disk_dir", None)
+        trace = cached_workload("hmmer", n_refs=500, seed=3)
+        assert trace == make_workload("hmmer", n_refs=500, seed=3)
+        # Second lookup is a memory hit on the very same object.
+        assert cached_workload("hmmer", n_refs=500, seed=3) is trace
