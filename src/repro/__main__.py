@@ -1,4 +1,4 @@
-"""``python -m repro`` — scope demo, plus a ``sweep`` subcommand.
+"""``python -m repro`` — scope demo, ``sweep`` and ``leakage`` subcommands.
 
 Without arguments: lists the implemented systems and the table/figure
 -> bench mapping, then runs a 5-second demonstration (the Flush-Reload
@@ -8,6 +8,12 @@ fails).
 ``python -m repro sweep <figure>`` runs one evaluation sweep through
 the parallel runner (``--jobs`` / ``REPRO_JOBS``) and appends its
 wall-clock and throughput to ``BENCH_runner.json``.
+
+``python -m repro leakage`` runs the unified leakage sweep — empirical
+mutual information, guessing entropy and success-rate curves for the
+Equation (7) reference channel, Flush-Reload and the cache-occupancy
+channel, per scheme x window x seed — validates it against the
+Section V-B closed forms, and writes ``BENCH_leakage.json``.
 """
 
 import argparse
@@ -122,6 +128,57 @@ def sweep(args: argparse.Namespace) -> None:
         print(f"recorded under 'sweep_{args.figure}' in {args.report}")
 
 
+def leakage(args: argparse.Namespace) -> None:
+    from repro.leakage.report import (
+        format_leakage_table,
+        validate_results,
+        write_leakage_report,
+    )
+    from repro.leakage.sweep import leakage_grid, run_leakage_sweep
+    from repro.runner.pool import last_run_stats, resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    grid_kwargs = dict(
+        m_lines=args.m_lines, trials=args.trials,
+        seeds=tuple(args.seed + i for i in range(args.seeds)))
+    if args.schemes:
+        grid_kwargs["schemes"] = tuple(args.schemes.split(","))
+    if args.windows:
+        grid_kwargs["window_sizes"] = tuple(
+            int(w) for w in args.windows.split(","))
+    if args.smoke:
+        # CI-sized grid: one window, the three schemes that pin the
+        # story (full leak, randomized leak, closed channel), fewer
+        # Monte-Carlo repeats.  Explicit flags still win.
+        grid_kwargs.setdefault("schemes",
+                               ("demand_fetch", "random_fill",
+                                "plcache_preload"))
+        grid_kwargs.setdefault("window_sizes", (8,))
+        grid_kwargs["curve_repeats"] = 100
+    specs = leakage_grid(**grid_kwargs)
+    print(f"leakage sweep: {len(specs)} cells "
+          f"(jobs={jobs}, seed={args.seed}, seeds={args.seeds})")
+    results = run_leakage_sweep(specs, jobs=jobs)
+    print(format_leakage_table(results))
+
+    validation = validate_results(results)
+    print(f"\nvalidation: {validation['passed']} passed, "
+          f"{validation['failed']} failed")
+    for check in validation["checks"]:
+        if not check["ok"]:
+            print(f"  FAIL {check['check']}: {check['detail']}")
+    stats = last_run_stats()
+    print(f"{stats['cells']:.0f} cells in {stats['seconds']:.2f}s "
+          f"({stats['cells_per_sec']:.1f} cells/s, jobs={jobs})")
+    if args.report:
+        write_leakage_report(results, validation=validation,
+                             stats={"seed": args.seed, **stats},
+                             path=args.report)
+        print(f"recorded under 'leakage' in {args.report}")
+    if args.check and validation["failed"]:
+        sys.exit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -141,6 +198,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="master seed for traces and schemes")
     sp.add_argument("--report", default="BENCH_runner.json",
                     help="benchmark report file ('' to skip recording)")
+    lp = sub.add_parser(
+        "leakage", help="run the unified leakage sweep (MI, guessing "
+        "entropy, success-rate curves per scheme x window x seed)")
+    lp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: REPRO_JOBS or all cores)")
+    lp.add_argument("--seed", type=int, default=0,
+                    help="master seed for every leakage cell")
+    lp.add_argument("--seeds", type=int, default=1,
+                    help="number of seed replicates (seed, seed+1, ...)")
+    lp.add_argument("--trials", type=int, default=0,
+                    help="trials per cell (0 = per-channel defaults)")
+    lp.add_argument("--m-lines", type=int, default=16,
+                    help="security-critical region size in lines (M)")
+    lp.add_argument("--schemes", default="",
+                    help="comma-separated scheme subset (default: all)")
+    lp.add_argument("--windows", default="",
+                    help="comma-separated window sizes (default: 2,4,8,16,32)")
+    lp.add_argument("--smoke", action="store_true",
+                    help="CI-sized grid: 3 schemes, window 8 only")
+    lp.add_argument("--check", action="store_true",
+                    help="exit non-zero if any validation check fails")
+    lp.add_argument("--report", default="BENCH_leakage.json",
+                    help="leakage report file ('' to skip recording)")
     return parser
 
 
@@ -148,6 +228,8 @@ def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
     if args.command == "sweep":
         sweep(args)
+    elif args.command == "leakage":
+        leakage(args)
     else:
         demo()
 

@@ -17,6 +17,7 @@ from typing import List
 
 from repro.attacks.victim import TableLookupVictim
 from repro.cache.context import AccessContext
+from repro.util.rng import derive_seed
 
 ATTACKER_BASE_LINE = 0xA00_0000 // 64
 
@@ -45,7 +46,7 @@ def run_evict_time(victim: TableLookupVictim, secret: int,
     """
     if trials_per_set <= 0:
         raise ValueError("trials_per_set must be positive")
-    rng = random.Random(seed)
+    rng = random.Random(derive_seed(seed, "evict-time", "attacker"))
     l1 = victim.l1
     attacker_ctx = AccessContext(thread_id=1, domain=1)
     victim_line = victim.region.first_line + secret

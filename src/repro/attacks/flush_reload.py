@@ -9,20 +9,21 @@ Against demand fetch the observed line *is* the accessed line (channel
 capacity log2 M).  Against random fill the filled line is uniform over
 the victim's window, so the attacker's observation carries little
 information (Section V-B).  :func:`run_flush_reload_trials` measures
-the empirical accuracy and mutual information, which the Figure 5
-capacity bound caps.
+the empirical accuracy and mutual information (via the shared
+:mod:`repro.leakage.estimators`), which the Figure 5 capacity bound
+caps.
 """
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.analysis.hit_probability import FunctionalRandomFillCache
 from repro.cache.tagstore import TagStore
 from repro.core.window import RandomFillWindow
+from repro.leakage.estimators import JointCounts, mutual_information_bits
 from repro.secure.region import ProtectedRegion
 from repro.util.rng import HardwareRng, derive_seed
 
@@ -33,8 +34,13 @@ class FlushReloadResult:
 
     trials: int
     exact_accuracy: float        # P(inferred line == secret line)
-    mutual_information: float    # empirical I(secret; observation), bits
+    mutual_information: float    # Miller-Madow corrected I(secret; obs), bits
     observations_per_secret: Dict[int, Dict[Tuple[int, ...], int]]
+
+    @property
+    def joint(self) -> JointCounts:
+        """The (secret, observation) counts as shared-estimator input."""
+        return JointCounts.from_nested(self.observations_per_secret)
 
 
 def run_flush_reload_trials(tag_store: TagStore,
@@ -48,17 +54,18 @@ def run_flush_reload_trials(tag_store: TagStore,
     random secret line (through the fill strategy under test), attacker
     reloads every line of the region and records which were cached.
     The attacker's guess is the first observed hot line (under demand
-    fetch there is exactly one and it is correct).
+    fetch there is exactly one and it is correct).  All randomness is
+    derived from ``seed`` via :func:`repro.util.rng.derive_seed`.
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
-    rng = random.Random(seed)
+    rng = random.Random(derive_seed(seed, "flush-reload", "secrets"))
     cache = FunctionalRandomFillCache(
         tag_store, window, HardwareRng(derive_seed(seed, "victim-fill")))
     lines = list(region.lines)
     m = len(lines)
     correct = 0
-    joint: Dict[int, Dict[Tuple[int, ...], int]] = {}
+    joint = JointCounts()
 
     for _ in range(trials):
         # Flush phase: evict the whole shared region.
@@ -77,31 +84,12 @@ def run_flush_reload_trials(tag_store: TagStore,
         guess = observed[0] if observed else -1
         if guess == secret:
             correct += 1
-        joint.setdefault(secret, {})
-        joint[secret][observed] = joint[secret].get(observed, 0) + 1
+        joint.add(secret, observed)
 
-    mi = _mutual_information(joint, trials)
+    nested = {secret: joint.row(secret) for secret in joint.secrets}
     return FlushReloadResult(
         trials=trials,
         exact_accuracy=correct / trials,
-        mutual_information=mi,
-        observations_per_secret=joint,
+        mutual_information=mutual_information_bits(joint),
+        observations_per_secret=nested,
     )
-
-
-def _mutual_information(joint: Dict[int, Dict[Tuple[int, ...], int]],
-                        total: int) -> float:
-    """Empirical I(S; O) in bits from the observed joint counts."""
-    p_secret: Dict[int, float] = {}
-    p_obs: Dict[Tuple[int, ...], float] = {}
-    for secret, row in joint.items():
-        for obs, count in row.items():
-            p = count / total
-            p_secret[secret] = p_secret.get(secret, 0.0) + p
-            p_obs[obs] = p_obs.get(obs, 0.0) + p
-    mi = 0.0
-    for secret, row in joint.items():
-        for obs, count in row.items():
-            p = count / total
-            mi += p * math.log2(p / (p_secret[secret] * p_obs[obs]))
-    return mi

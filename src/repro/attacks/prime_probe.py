@@ -58,7 +58,7 @@ def run_prime_probe_trials(tag_store: TagStore,
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
-    rng = random.Random(seed)
+    rng = random.Random(derive_seed(seed, "prime-probe", "secrets"))
     attacker_ctx = AccessContext(thread_id=1, domain=1)
     victim_ctx = AccessContext(thread_id=0, domain=0)
     victim_cache = FunctionalRandomFillCache(

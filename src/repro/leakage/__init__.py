@@ -1,0 +1,69 @@
+"""Unified leakage quantification: estimators, channels, sweeps.
+
+The paper's security argument is quantitative — the Equation (5)
+measurement counts, the Equation (7)/(8) storage-channel capacity,
+Table III's P1 - P2 decay — and this package is the empirical side of
+that argument.  It provides:
+
+* :mod:`repro.leakage.estimators` — shared estimators for empirical
+  mutual information (plug-in, with Miller-Madow bias correction),
+  guessing entropy and success-rate-vs-measurements curves over
+  (secret, observation) sample streams;
+* :mod:`repro.leakage.adapters` — functional per-scheme cache builders
+  so one attack loop runs against demand fetch, random fill (any
+  window) and the ``secure/`` designs unchanged;
+* :mod:`repro.leakage.occupancy` — the cache *occupancy* channel: the
+  attacker observes only the aggregate number of its own lines evicted,
+  not which ones (Chakraborty et al.; Peters et al.);
+* :mod:`repro.leakage.sweep` / :mod:`repro.leakage.report` — picklable
+  leakage cells wired through :mod:`repro.runner`, producing the
+  per-scheme x window x seed leakage table behind
+  ``python -m repro leakage`` and ``BENCH_leakage.json``.
+"""
+
+from repro.leakage.adapters import (
+    LEAKAGE_SCHEMES,
+    FunctionalScheme,
+    build_functional_scheme,
+)
+from repro.leakage.estimators import (
+    JointCounts,
+    conditional_guessing_entropy,
+    entropy_bits,
+    guessing_entropy,
+    mutual_information_bits,
+    n_to_success,
+    sample_window_channel,
+    success_rate_curve,
+)
+from repro.leakage.occupancy import OccupancyResult, run_occupancy_trials
+from repro.leakage.sweep import (
+    LEAKAGE_CHANNELS,
+    LeakageCellResult,
+    LeakageCellSpec,
+    leakage_grid,
+    run_leakage_cell,
+    run_leakage_sweep,
+)
+
+__all__ = [
+    "FunctionalScheme",
+    "JointCounts",
+    "LEAKAGE_CHANNELS",
+    "LEAKAGE_SCHEMES",
+    "LeakageCellResult",
+    "LeakageCellSpec",
+    "OccupancyResult",
+    "build_functional_scheme",
+    "conditional_guessing_entropy",
+    "entropy_bits",
+    "guessing_entropy",
+    "leakage_grid",
+    "mutual_information_bits",
+    "n_to_success",
+    "run_leakage_cell",
+    "run_leakage_sweep",
+    "run_occupancy_trials",
+    "sample_window_channel",
+    "success_rate_curve",
+]

@@ -1,0 +1,147 @@
+"""Functional per-scheme cache builders for the leakage channels.
+
+The leakage attacks operate on the *functional* (hit/miss-only) level,
+like the Section V-A Monte Carlo: what matters for the channel is which
+lines are resident, not the cycle counts.  A :class:`FunctionalScheme`
+bundles a freshly built tag store, the victim's fill strategy (demand
+fetch or a random fill window), the attacker/victim access contexts and
+the per-trial victim reset — one uniform surface the Flush-Reload and
+occupancy loops can run against any design through.
+
+Scheme names (``LEAKAGE_SCHEMES``):
+
+* ``demand_fetch``         — conventional SA cache, demand fetch
+* ``random_fill``          — SA cache + the paper's random fill window
+* ``newcache``             — Newcache (mapping randomization), demand fetch
+* ``random_fill_newcache`` — random fill built on Newcache
+* ``rpcache``              — RPcache (permutation randomization), demand fetch
+* ``plcache_preload``      — PLcache with the region preloaded and locked
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.analysis.hit_probability import FunctionalRandomFillCache
+from repro.cache.context import AccessContext
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.tagstore import TagStore
+from repro.core.window import DISABLED_WINDOW, RandomFillWindow
+from repro.secure.newcache import Newcache
+from repro.secure.plcache import PLCache
+from repro.secure.region import ProtectedRegion
+from repro.secure.rpcache import RPCache
+from repro.util.rng import HardwareRng, derive_seed
+
+LEAKAGE_SCHEMES = (
+    "demand_fetch",
+    "random_fill",
+    "newcache",
+    "random_fill_newcache",
+    "rpcache",
+    "plcache_preload",
+)
+
+#: schemes whose victim runs the random fill strategy
+RANDOM_FILL_SCHEMES = ("random_fill", "random_fill_newcache")
+
+VICTIM_CTX = AccessContext(thread_id=0, domain=0)
+ATTACKER_CTX = AccessContext(thread_id=1, domain=1)
+_LOCK_CTX = AccessContext(thread_id=0, domain=0, lock=True)
+
+
+@dataclass
+class FunctionalScheme:
+    """A built functional scheme plus the knobs the leakage loops need."""
+
+    name: str
+    tag_store: TagStore
+    window: RandomFillWindow
+    region: ProtectedRegion
+    victim_cache: FunctionalRandomFillCache
+    victim_ctx: AccessContext = VICTIM_CTX
+    attacker_ctx: AccessContext = ATTACKER_CTX
+    #: every line a victim access can install (region plus window margins)
+    victim_lines: FrozenSet[int] = field(default_factory=frozenset)
+    preloaded: bool = False
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.tag_store.capacity_lines
+
+    def victim_access(self, line_addr: int) -> bool:
+        """One victim access through the scheme's fill strategy."""
+        return self.victim_cache.access_line(line_addr)
+
+    def reset_victim(self) -> None:
+        """Return the victim's cache state to its trial-start condition.
+
+        Models a fresh victim run: every line the victim could have
+        installed is invalidated; for ``plcache_preload`` the preload
+        routine then re-runs (the paper's defence re-preloads on every
+        context switch / program start).
+        """
+        store = self.tag_store
+        victim_lines = self.victim_lines
+        resident = [line for line in store.resident_lines()
+                    if line in victim_lines]
+        for line in resident:
+            store.invalidate(line)
+        if self.preloaded:
+            self._preload()
+
+    def _preload(self) -> None:
+        for line in self.region.lines:
+            if not self.tag_store.access(line, _LOCK_CTX):
+                self.tag_store.fill(line, _LOCK_CTX)
+
+
+def build_functional_scheme(name: str,
+                            region: ProtectedRegion,
+                            window: Optional[RandomFillWindow] = None,
+                            cache_bytes: int = 8 * 1024,
+                            associativity: int = 4,
+                            seed: int = 0) -> FunctionalScheme:
+    """Construct a named functional scheme around ``region``.
+
+    ``window`` is required by the random fill schemes and rejected (if
+    enabled) by the demand-fetch ones.  Every RNG the scheme owns is
+    derived from ``seed`` via :func:`repro.util.rng.derive_seed`.
+    """
+    if name not in LEAKAGE_SCHEMES:
+        raise ValueError(f"unknown scheme {name!r}; known: {LEAKAGE_SCHEMES}")
+    random_fill = name in RANDOM_FILL_SCHEMES
+    if random_fill:
+        if window is None or window.disabled:
+            raise ValueError(f"scheme {name!r} needs an enabled window")
+    elif window is not None and not window.disabled:
+        raise ValueError(f"scheme {name!r} cannot honour a random fill window")
+    window = window if random_fill else DISABLED_WINDOW
+
+    store: TagStore
+    if name in ("demand_fetch", "random_fill"):
+        store = SetAssociativeCache(cache_bytes, associativity)
+    elif name in ("newcache", "random_fill_newcache"):
+        store = Newcache(cache_bytes,
+                         seed=derive_seed(seed, "leakage", name, "store"))
+    elif name == "rpcache":
+        store = RPCache(cache_bytes, associativity,
+                        seed=derive_seed(seed, "leakage", name, "store"))
+    else:  # plcache_preload
+        store = PLCache(cache_bytes, associativity)
+
+    victim_cache = FunctionalRandomFillCache(
+        store, window,
+        HardwareRng(derive_seed(seed, "leakage", name, "victim-fill")),
+        ctx=VICTIM_CTX)
+    first = region.first_line
+    victim_lines = frozenset(
+        range(max(0, first - window.a), first + region.num_lines + window.b))
+    scheme = FunctionalScheme(
+        name=name, tag_store=store, window=window, region=region,
+        victim_cache=victim_cache, victim_lines=victim_lines,
+        preloaded=(name == "plcache_preload"))
+    if scheme.preloaded:
+        scheme._preload()
+    return scheme

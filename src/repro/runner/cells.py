@@ -10,6 +10,11 @@ results in-process, in a worker process, and across runs.
 Experiment modules are imported lazily inside :func:`run_cell` so the
 experiment modules themselves can import this package at top level
 without a cycle.
+
+The runner is open to other cell families: any picklable spec exposing
+a zero-argument ``run()`` method (e.g.
+:class:`repro.leakage.sweep.LeakageCellSpec`) goes through
+:func:`run_cell` and the worker pool exactly like a :class:`CellSpec`.
 """
 
 from __future__ import annotations
@@ -50,13 +55,18 @@ class CellSpec:
             raise ValueError(f"unknown cell kind {self.kind!r}; known: {known}")
 
 
-def run_cell(spec: CellSpec):
-    """Execute one cell; the result type depends on ``spec.kind``.
+def run_cell(spec):
+    """Execute one cell; the result type depends on the spec.
+
+    For a :class:`CellSpec`, ``spec.kind`` selects the experiment:
 
     * ``general`` -> :class:`SimResult` (one Figure 10 cell),
     * ``crypto`` -> :class:`SimResult` (one Figure 6/7 cell),
     * ``concurrent`` -> ``float`` IPC (one Figure 8 cell),
     * ``profile`` -> :class:`ProfileResult` (one Figure 9 benchmark).
+
+    Any other spec must expose a zero-argument ``run()``, whose return
+    value is the cell result (e.g. the leakage cells).
 
     Cyclic garbage collection is paused for the duration of the cell:
     the simulators allocate millions of short-lived acyclic objects per
@@ -72,7 +82,14 @@ def run_cell(spec: CellSpec):
             gc.enable()
 
 
-def _dispatch_cell(spec: CellSpec):
+def _dispatch_cell(spec):
+    if not isinstance(spec, CellSpec):
+        run = getattr(spec, "run", None)
+        if run is None:
+            raise TypeError(
+                f"cell spec {type(spec).__name__} is neither a CellSpec "
+                f"nor exposes a run() method")
+        return run()
     kind = spec.kind
     if kind == "general":
         from repro.experiments.perf_general import run_general_workload

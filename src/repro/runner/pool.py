@@ -22,7 +22,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
-from repro.runner.cells import CellSpec, run_cell
+from repro.runner.cells import run_cell
 
 #: statistics of the most recent ``run_cells`` call in this process
 _LAST_RUN: Dict[str, float] = {}
@@ -41,9 +41,12 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def run_cells(specs: Sequence[CellSpec], jobs: Optional[int] = None,
+def run_cells(specs: Sequence, jobs: Optional[int] = None,
               chunksize: Optional[int] = None) -> List:
     """Run every cell; returns results in the order of ``specs``.
+
+    Accepts :class:`CellSpec` instances or any other picklable spec
+    :func:`run_cell` understands (specs with a ``run()`` method).
 
     ``jobs`` follows :func:`resolve_jobs`; ``chunksize`` (pool mode
     only) defaults to ``len(specs) // (jobs * 4)`` so each worker gets

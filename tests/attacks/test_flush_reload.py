@@ -49,6 +49,17 @@ class TestAgainstRandomFill:
         # finite-sample MI estimates are biased upward; allow slack
         assert result.mutual_information < bound + 0.5
 
+    def test_mi_comes_from_shared_estimators(self):
+        """The attack reports the Miller-Madow estimate of its own
+        joint — no private MI implementation left behind."""
+        from repro.leakage.estimators import mutual_information_bits
+
+        result = run_flush_reload_trials(
+            SetAssociativeCache(32 * 1024, 4), REGION,
+            RandomFillWindow(8, 7), trials=400, seed=7)
+        assert result.mutual_information == \
+            mutual_information_bits(result.joint)
+
     def test_information_drops_with_window(self):
         mis = []
         for size in (1, 4, 32):

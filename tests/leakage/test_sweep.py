@@ -1,0 +1,154 @@
+"""Leakage sweep tests: grid construction, runner wiring, determinism.
+
+The jobs-invariance test pins the satellite requirement that leakage
+results are bit-identical for ``--jobs 1`` vs ``--jobs N`` — every cell
+derives its RNG streams from the spec seed alone.
+"""
+
+import math
+
+import pytest
+
+from repro.leakage.report import (
+    format_leakage_table,
+    validate_results,
+    write_leakage_report,
+)
+from repro.leakage.sweep import (
+    LEAKAGE_CHANNELS,
+    LeakageCellSpec,
+    leakage_grid,
+    run_leakage_cell,
+    run_leakage_sweep,
+)
+from repro.runner.pool import run_cells
+
+FAST = dict(trials=300, curve_repeats=40)
+
+SMOKE_SPECS = [
+    LeakageCellSpec(channel="eq7", window=(4, 3), trials=2000,
+                    curve_repeats=40),
+    LeakageCellSpec(channel="occupancy", scheme="demand_fetch", **FAST),
+    LeakageCellSpec(channel="occupancy", scheme="random_fill",
+                    window=(4, 3), **FAST),
+    LeakageCellSpec(channel="flush_reload", scheme="random_fill",
+                    window=(4, 3), **FAST),
+]
+
+
+class TestSpecValidation:
+    def test_unknown_channel(self):
+        with pytest.raises(ValueError):
+            LeakageCellSpec(channel="prime_probe")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            LeakageCellSpec(channel="occupancy", scheme="l2")
+
+    def test_window_required_for_random_fill(self):
+        with pytest.raises(ValueError):
+            LeakageCellSpec(channel="occupancy", scheme="random_fill")
+
+    def test_window_rejected_for_demand(self):
+        with pytest.raises(ValueError):
+            LeakageCellSpec(channel="occupancy", scheme="demand_fetch",
+                            window=(2, 1))
+
+    def test_window_size(self):
+        spec = LeakageCellSpec(channel="eq7", window=(4, 3))
+        assert spec.window_size == 8
+        demand = LeakageCellSpec(channel="occupancy", scheme="demand_fetch")
+        assert demand.window_size == 1
+
+
+class TestGrid:
+    def test_default_grid_shape(self):
+        specs = leakage_grid()
+        # eq7: 5 windows; flush_reload/occupancy: 5 RF windows + 4
+        # demand schemes each.
+        assert len(specs) == 5 + 2 * (5 + 4)
+        assert {s.channel for s in specs} == set(LEAKAGE_CHANNELS)
+
+    def test_seed_replicates(self):
+        specs = leakage_grid(channels=("occupancy",),
+                             schemes=("demand_fetch",), seeds=(0, 1, 2))
+        assert [s.seed for s in specs] == [0, 1, 2]
+
+    def test_rejects_unknown_channel(self):
+        with pytest.raises(ValueError):
+            leakage_grid(channels=("mi",))
+
+
+class TestRunnerWiring:
+    def test_leakage_cell_through_generic_dispatch(self):
+        spec = LeakageCellSpec(channel="eq7", window=(2, 1), trials=500,
+                               curve_repeats=20)
+        from repro.runner.cells import run_cell
+        assert run_cell(spec) == spec.run()
+
+    def test_foreign_spec_without_run_rejected(self):
+        from repro.runner.cells import run_cell
+        with pytest.raises(TypeError):
+            run_cell(object())
+
+    def test_jobs_invariance(self):
+        """Bit-identical results for --jobs 1 vs --jobs N."""
+        assert run_cells(SMOKE_SPECS, jobs=2) == run_cells(SMOKE_SPECS, jobs=1)
+
+    def test_sweep_entry_points_agree(self):
+        spec = SMOKE_SPECS[1]
+        assert run_leakage_cell(spec) == spec.run()
+
+
+class TestCellResults:
+    def test_eq7_matches_analytic_within_tolerance(self):
+        result = LeakageCellSpec(channel="eq7", window=(4, 3),
+                                 curve_repeats=40).run()
+        assert result.analytic_bits is not None
+        assert result.mi_bits == pytest.approx(result.analytic_bits, abs=0.12)
+
+    def test_demand_flush_reload_is_identity(self):
+        result = LeakageCellSpec(channel="flush_reload",
+                                 scheme="demand_fetch", **FAST).run()
+        assert result.analytic_bits == pytest.approx(math.log2(16))
+        assert result.mi_bits == pytest.approx(math.log2(16), abs=0.1)
+        assert result.n_to_success_90 == 1
+
+    def test_json_round_trip_fields(self):
+        result = SMOKE_SPECS[1].run()
+        payload = result.to_json()
+        assert payload["channel"] == "occupancy"
+        assert payload["window"] is None
+        assert len(payload["success_curve"]) == len(result.success_curve)
+
+
+class TestReport:
+    def _results(self):
+        return run_cells(SMOKE_SPECS, jobs=1)
+
+    def test_validation_passes_on_smoke(self):
+        validation = validate_results(self._results())
+        assert validation["failed"] == 0
+        assert validation["passed"] > 0
+
+    def test_validation_flags_inflated_mi(self):
+        results = self._results()
+        import dataclasses
+        bad = dataclasses.replace(results[0], mi_bits=results[0].mi_bits + 1)
+        validation = validate_results([bad] + results[1:])
+        assert validation["failed"] >= 1
+
+    def test_table_renders_every_cell(self):
+        results = self._results()
+        table = format_leakage_table(results)
+        assert table.count("\n") >= len(results)
+        assert "MI (bits)" in table
+
+    def test_report_file_written(self, tmp_path):
+        path = str(tmp_path / "BENCH_leakage.json")
+        report = write_leakage_report(self._results(), path=path)
+        assert "leakage" in report
+        import json
+        on_disk = json.loads((tmp_path / "BENCH_leakage.json").read_text())
+        assert len(on_disk["leakage"]["cells"]) == len(SMOKE_SPECS)
+        assert on_disk["leakage"]["validation"]["failed"] == 0
