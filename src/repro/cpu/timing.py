@@ -28,8 +28,11 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.cache.context import AccessContext, DEFAULT_CONTEXT
-from repro.cache.controller import L1Controller
-from repro.cpu.trace import TraceRecord
+from repro.cache.controller import DemandFetchPolicy, L1Controller
+from repro.cache.mshr import RequestType
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.policy import RandomFillPolicy
+from repro.cpu.trace import Trace, TraceRecord
 
 
 @dataclass
@@ -132,7 +135,22 @@ class TimingModel:
     def run(self, trace: Iterable[TraceRecord],
             ctx: AccessContext = DEFAULT_CONTEXT,
             start_cycle: int = 0) -> SimResult:
-        """Run a trace to completion; counters are deltas for this run."""
+        """Run a trace to completion; counters are deltas for this run.
+
+        A columnar :class:`~repro.cpu.trace.Trace` takes the batched
+        path (pre-decoded line addresses and issue-cycle steps, and —
+        for the stock set-associative/LRU configuration — a fused
+        access kernel); any other iterable of ``(addr, gap, write)``
+        records takes the per-record path.  Both produce bit-identical
+        results for equal traces.
+        """
+        if isinstance(trace, Trace):
+            return self._run_columnar(trace, ctx, start_cycle)
+        return self._run_records(trace, ctx, start_cycle)
+
+    def _run_records(self, trace: Iterable[TraceRecord],
+                     ctx: AccessContext = DEFAULT_CONTEXT,
+                     start_cycle: int = 0) -> SimResult:
         l1 = self.l1
         l2 = l1.next_level
         width = self.issue_width
@@ -206,4 +224,358 @@ class TimingModel:
             l2_demand_misses=l2.stats.demand_misses - l2_miss0,
             memory_lines=l2.dram.lines_transferred - mem0,
             random_fill_issued=l1.stats.random_fill_issued - rf0,
+        )
+
+    def _fast_path_eligible(self, ctx: AccessContext) -> bool:
+        """True when the fused kernel may replace per-access dispatch.
+
+        The kernel inlines exactly the stock configuration: a plain
+        set-associative tag store (no subclass) with LRU hits, a policy
+        with no ``bypass``/``on_hit`` overrides, and a context without
+        lock/unlock side effects.  This covers the baseline and every
+        random-fill window; PLcache, Newcache, the prefetcher and the
+        disable-cache scheme fall back to the per-record dispatch.
+        """
+        l1 = self.l1
+        return (type(l1.tag_store) is SetAssociativeCache
+                and l1.tag_store._lru_hits
+                and not l1._policy_bypasses
+                and l1._policy_on_hit is None
+                and not ctx.lock and not ctx.unlock)
+
+    def _run_columnar(self, trace: Trace, ctx: AccessContext,
+                      start_cycle: int) -> SimResult:
+        """Batched run: consume pre-decoded columns instead of records."""
+        l1 = self.l1
+        decode = trace.decoded(l1._line_shift)
+        lines_l = decode.lines_list()
+        steps_l = decode.issue_steps(self.issue_width)
+        writes_l = decode.writes_list()
+        if self._fast_path_eligible(ctx):
+            return self._run_columnar_fused(trace, lines_l, steps_l,
+                                            writes_l, ctx, start_cycle)
+        l2 = l1.next_level
+        hit_cost = l1.hit_latency
+        window = _MlpWindow(self.mlp, self.overlap_credit)
+        access_line = l1.access_line
+        mlp = self.mlp
+        credit = self.overlap_credit
+        prune_at = CHARGED_PRUNE_THRESHOLD
+
+        l1_acc0 = l1.stats.accesses
+        l1_hit0 = l1.stats.hits
+        l1_miss0 = l1.stats.demand_misses
+        l2_acc0 = l2.stats.accesses
+        l2_miss0 = l2.stats.demand_misses
+        mem0 = l2.dram.lines_transferred
+        rf0 = l1.stats.random_fill_issued
+
+        write_ctx = AccessContext(thread_id=ctx.thread_id, domain=ctx.domain,
+                                  critical=ctx.critical, is_write=True)
+        now = start_cycle
+        charged: dict = {}
+        for line, step, write in zip(lines_l, steps_l, writes_l):
+            now += step
+            result = access_line(line, now, write_ctx if write else ctx)
+            if result.l1_hit:
+                now += hit_cost
+            elif result.merged:
+                completion = result.ready_at - hit_cost
+                if charged.get(line) == completion:
+                    now += hit_cost
+                else:
+                    charged[line] = completion
+                    now += hit_cost
+                    remaining = completion - now - credit
+                    if remaining > 0:
+                        now += (remaining + mlp - 1) // mlp
+            else:
+                charged[line] = result.ready_at
+                now += hit_cost + result.stalled_for_mshr
+                remaining = result.ready_at - now - credit
+                if remaining > 0:
+                    now += (remaining + mlp - 1) // mlp
+            if len(charged) >= prune_at:
+                charged = prune_charged(charged, now)
+        now = window.settle(now)
+        l1.settle()
+        return SimResult(
+            instructions=trace.instruction_count,
+            cycles=now - start_cycle,
+            l1_accesses=l1.stats.accesses - l1_acc0,
+            l1_hits=l1.stats.hits - l1_hit0,
+            l1_demand_misses=l1.stats.demand_misses - l1_miss0,
+            l2_accesses=l2.stats.accesses - l2_acc0,
+            l2_demand_misses=l2.stats.demand_misses - l2_miss0,
+            memory_lines=l2.dram.lines_transferred - mem0,
+            random_fill_issued=l1.stats.random_fill_issued - rf0,
+        )
+
+    def _run_columnar_fused(self, trace: Trace, lines_l, steps_l, writes_l,
+                            ctx: AccessContext, start_cycle: int) -> SimResult:
+        """Fused kernel: controller access inlined into the timing loop.
+
+        Replicates ``L1Controller.access_line`` + the MLP charging
+        arithmetic for the stock set-associative/LRU configuration (see
+        ``_fast_path_eligible``) with no per-access call or
+        ``AccessResult`` allocation.  Local mirrors of the miss queue's
+        ``next_completion`` (``nc``) and the controller's
+        ``_fills_blocked`` flag are refreshed after every operation
+        that can move them (drain / fill issue / allocate), so the
+        controller object stays consistent for the settle phase and for
+        any later per-record accesses.
+
+        Two deliberate divergences from per-record bookkeeping, both
+        result-invisible: ``stats.accesses``/``stats.hits`` are added
+        in one batch at the end (nothing reads them mid-run), and the
+        ``charged`` prune check is skipped on hit records (hits never
+        grow ``charged``, and pruning only ever removes entries whose
+        completion has passed, which cannot change timing — see
+        ``CHARGED_PRUNE_THRESHOLD``).
+        """
+        l1 = self.l1
+        l2 = l1.next_level
+        hit_cost = l1.hit_latency
+        window = _MlpWindow(self.mlp, self.overlap_credit)
+        mlp = self.mlp
+        credit = self.overlap_credit
+        prune_at = CHARGED_PRUNE_THRESHOLD
+
+        tag_store = l1.tag_store
+        sets = tag_store._sets
+        set_mask = tag_store._set_mask
+        tag_access = l1._tag_access
+        miss_queue = l1.miss_queue
+        mq_entries = miss_queue._entries
+        mq_get = mq_entries.get
+        mq_capacity = miss_queue.capacity
+        allocate = miss_queue.allocate
+        drain = miss_queue.drain
+        install = l1._install
+        issue_fills = l1._issue_random_fills
+        enqueue_fills = l1._enqueue_random_fills
+        policy_on_miss = l1._policy_on_miss
+        l2_access = l1._l2_access
+        fill_queue = l1.fill_queue
+        stats = l1.stats
+        l2_stats = l2.stats
+
+        l1_acc0 = stats.accesses
+        l1_hit0 = stats.hits
+        l1_miss0 = stats.demand_misses
+        l2_acc0 = l2_stats.accesses
+        l2_miss0 = l2_stats.demand_misses
+        mem0 = l2.dram.lines_transferred
+        rf0 = stats.random_fill_issued
+
+        # Specialize the demand-miss path by fill policy.  Kind 1 is a
+        # plain NORMAL miss with no extra fills (demand fetch, or random
+        # fill with the window registers at zero); kind 2 is the paper's
+        # mechanism with the Figure 4 masked draw and the single-request
+        # fill issue inlined (every RandomFillPolicy plan carries
+        # exactly one line); kind 0 is the generic enqueue-then-drain
+        # path for any other policy, and for non-power-of-two windows
+        # (which draw via ``draw_below``).  The kind-2 RNG draw moves
+        # after the demand L2 access (the L2/DRAM path never touches the
+        # fill engine's RNG, so the draw sequence per miss is
+        # unchanged).
+        NORMAL = RequestType.NORMAL
+        NOFILL = RequestType.NOFILL
+        RANDOM_FILL = RequestType.RANDOM_FILL
+        policy = l1._policy
+        policy_kind = 0
+        rf_buf = rf_refill = None
+        rf_mask = rf_a = 0
+        if type(policy) is DemandFetchPolicy:
+            policy_kind = 1
+        elif type(policy) is RandomFillPolicy:
+            engine = policy.engine
+            rf_window = engine.window_for(ctx.thread_id)
+            if rf_window.a == 0 and rf_window.b == 0:
+                policy_kind = 1
+            else:
+                rf_a, rf_mask, _ = engine._params[ctx.thread_id]
+                if rf_mask is not None:
+                    policy_kind = 2
+                    rng = engine._rng
+                    rf_buf = rng._buffer
+                    rf_refill = rng._refill
+        fill_cap = mq_capacity - l1.fill_reserve
+        demand_misses = 0
+        nlr = 0
+        rf_issued = 0
+        rf_dropped = 0
+
+        write_ctx = AccessContext(thread_id=ctx.thread_id, domain=ctx.domain,
+                                  critical=ctx.critical, is_write=True)
+        now = start_cycle
+        charged: dict = {}
+        charged_get = charged.get
+        hits_local = 0
+        nc = miss_queue.next_completion
+        fills_blocked = l1._fills_blocked
+        for line, step, write in zip(lines_l, steps_l, writes_l):
+            now += step
+            if now >= nc:
+                drain(now, install)
+                l1._fills_blocked = fills_blocked = False
+                nc = miss_queue.next_completion
+            # Inlined SetAssociativeCache.access, LRU fast path.
+            cache_set = sets[line & set_mask]
+            index = 0
+            hit = False
+            for line_state in cache_set:
+                if line_state.line_addr == line:
+                    hit = True
+                    break
+                index += 1
+            if hit:
+                hits_local += 1
+                if index:
+                    cache_set.insert(0, cache_set.pop(index))
+                if fill_queue and not fills_blocked:
+                    issue_fills(now)
+                    fills_blocked = l1._fills_blocked
+                    nc = miss_queue.next_completion
+                now += hit_cost
+                continue
+            record_ctx = write_ctx if write else ctx
+            in_flight = mq_get(line)
+            if in_flight is None and fill_queue and not fills_blocked:
+                # Queued random fills are older than this demand miss,
+                # so they claim MSHRs first — and one of them may be
+                # for this very line, turning the miss into a merge.
+                issue_fills(now)
+                fills_blocked = l1._fills_blocked
+                nc = miss_queue.next_completion
+                in_flight = mq_get(line)
+            if in_flight is not None:
+                stats.mshr_merges += 1
+                completion = in_flight.complete_at
+                if completion < now:
+                    completion = now
+                if charged_get(line) == completion:
+                    now += hit_cost
+                else:
+                    charged[line] = completion
+                    now += hit_cost
+                    remaining = completion - now - credit
+                    if remaining > 0:
+                        now += (remaining + mlp - 1) // mlp
+                if len(charged) >= prune_at:
+                    charged = prune_charged(charged, now)
+                    charged_get = charged.get
+                continue
+            stall = 0
+            access_now = now
+            if len(mq_entries) >= mq_capacity:
+                stall = nc - now
+                if stall < 0:
+                    stall = 0
+                access_now = now + stall
+                drain(access_now, install)
+                l1._fills_blocked = fills_blocked = False
+                nc = miss_queue.next_completion
+                if tag_access(line, record_ctx):
+                    # The drained line was the one we wanted; the
+                    # timing loop charges only the hit (stall unused).
+                    hits_local += 1
+                    now += hit_cost
+                    continue
+            demand_misses += 1
+            nlr += 1
+            if policy_kind == 2:
+                complete_at = l2_access(line, access_now, record_ctx)
+                allocate(line, complete_at, NOFILL, record_ctx)
+                l1._fills_blocked = fills_blocked = False
+                nc = miss_queue.next_completion
+                if not rf_buf:
+                    rf_refill()
+                fill_line = line + (rf_buf.pop() & rf_mask) - rf_a
+                if fill_queue:
+                    # Parked requests are older; preserve FIFO order.
+                    enqueue_fills((fill_line,), record_ctx)
+                    issue_fills(access_now)
+                    fills_blocked = l1._fills_blocked
+                    nc = miss_queue.next_completion
+                elif fill_line < 0:
+                    # Window underflow below address zero.
+                    rf_dropped += 1
+                else:
+                    # Inlined single-request _issue_random_fills: the
+                    # probe / merge-upgrade / demand-reserve sequence
+                    # for exactly one queued request on an empty queue.
+                    resident = False
+                    for line_state in sets[fill_line & set_mask]:
+                        if line_state.line_addr == fill_line:
+                            resident = True
+                            break
+                    if resident:
+                        rf_dropped += 1
+                    else:
+                        in_flight = mq_get(fill_line)
+                        if in_flight is not None:
+                            if in_flight.request_type is NOFILL:
+                                in_flight.request_type = RANDOM_FILL
+                                rf_issued += 1
+                            else:
+                                rf_dropped += 1
+                        elif len(mq_entries) >= fill_cap:
+                            fill_queue.append((fill_line, record_ctx))
+                            l1._fills_blocked = fills_blocked = True
+                        else:
+                            fill_at = l2_access(fill_line, access_now,
+                                                record_ctx)
+                            nlr += 1
+                            rf_issued += 1
+                            allocate(fill_line, fill_at, RANDOM_FILL,
+                                     record_ctx)
+                            nc = miss_queue.next_completion
+            elif policy_kind == 1:
+                complete_at = l2_access(line, access_now, record_ctx)
+                allocate(line, complete_at, NORMAL, record_ctx)
+                l1._fills_blocked = fills_blocked = False
+                nc = miss_queue.next_completion
+                if fill_queue:
+                    issue_fills(access_now)
+                    fills_blocked = l1._fills_blocked
+                    nc = miss_queue.next_completion
+            else:
+                plan = policy_on_miss(line, record_ctx)
+                complete_at = l2_access(line, access_now, record_ctx)
+                allocate(line, complete_at, plan.demand_type, record_ctx)
+                l1._fills_blocked = fills_blocked = False
+                nc = miss_queue.next_completion
+                if plan.random_fill_lines:
+                    enqueue_fills(plan.random_fill_lines, record_ctx)
+                if fill_queue:
+                    issue_fills(access_now)
+                    fills_blocked = l1._fills_blocked
+                    nc = miss_queue.next_completion
+            charged[line] = complete_at
+            now += hit_cost + stall
+            remaining = complete_at - now - credit
+            if remaining > 0:
+                now += (remaining + mlp - 1) // mlp
+            if len(charged) >= prune_at:
+                charged = prune_charged(charged, now)
+                charged_get = charged.get
+        stats.accesses += len(lines_l)
+        stats.hits += hits_local
+        stats.demand_misses += demand_misses
+        stats.next_level_requests += nlr
+        stats.random_fill_issued += rf_issued
+        stats.random_fill_dropped += rf_dropped
+        now = window.settle(now)
+        l1.settle()
+        return SimResult(
+            instructions=trace.instruction_count,
+            cycles=now - start_cycle,
+            l1_accesses=stats.accesses - l1_acc0,
+            l1_hits=stats.hits - l1_hit0,
+            l1_demand_misses=stats.demand_misses - l1_miss0,
+            l2_accesses=l2_stats.accesses - l2_acc0,
+            l2_demand_misses=l2_stats.demand_misses - l2_miss0,
+            memory_lines=l2.dram.lines_transferred - mem0,
+            random_fill_issued=stats.random_fill_issued - rf0,
         )

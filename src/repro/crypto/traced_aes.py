@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.cpu.trace import TraceRecord
+from repro.cpu.trace import Trace, TraceRecord
 from repro.crypto.aes import AES128, _bytes_from_words, _words_from_bytes
 from repro.crypto.aes_tables import (
     TABLE_BYTES,
@@ -255,22 +255,27 @@ class TracedAES128(AES128):
     # -- traced CBC over a whole message ------------------------------------
 
     def encrypt_cbc_traced(self, plaintext: bytes,
-                           iv: bytes) -> Tuple[bytes, List[TraceRecord]]:
-        """CBC-encrypt a message (the Figure 6 workload is 32 KB)."""
+                           iv: bytes) -> Tuple[bytes, Trace]:
+        """CBC-encrypt a message (the Figure 6 workload is 32 KB).
+
+        Per-block traces stay record lists (the attacks dissect them);
+        the message-level trace is returned columnar, converted from
+        the accumulated records in one pass.
+        """
         if len(plaintext) % 16:
             raise ValueError("CBC plaintext must be a multiple of 16 bytes")
         if len(iv) != 16:
             raise ValueError(f"IV must be 16 bytes, got {len(iv)}")
-        trace: List[TraceRecord] = []
+        records: List[TraceRecord] = []
         out = bytearray()
         prev = iv
         for i in range(0, len(plaintext), 16):
             block = bytes(a ^ b for a, b in zip(plaintext[i:i + 16], prev))
             prev, block_trace = self.encrypt_block_traced(
                 block, message_offset=(i * 2) % 0x8000)
-            trace.extend(block_trace)
+            records.extend(block_trace)
             out.extend(prev)
-        return bytes(out), trace
+        return bytes(out), Trace.from_records(records)
 
     def final_round_indices(self, plaintext: bytes) -> List[int]:
         """The 16 final-round Te4 indices for one block (attack oracle).

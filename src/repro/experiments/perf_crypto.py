@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.window import RandomFillWindow
 from repro.cpu.timing import SimResult, TimingModel
+from repro.cpu.trace import Trace
 from repro.crypto.traced_aes import AesMemoryLayout, TracedAES128
 from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
 from repro.experiments.schemes import Scheme, build_scheme
@@ -45,15 +46,15 @@ def make_cbc_trace(message_kb: int = 32, seed: int = 0,
     data = bytes(rng.randrange(256) for _ in range(message_kb * 1024))
     aes = TracedAES128(key, layout=layout)
     ciphertext, trace = aes.encrypt_cbc_traced(data, iv)
-    if decrypt_too:
-        prev = iv
-        for i in range(0, len(ciphertext), 16):
-            block = ciphertext[i:i + 16]
-            _, block_trace = aes.decrypt_block_traced(
-                block, message_offset=(i * 2) % 0x8000)
-            trace.extend(block_trace)
-            prev = block
-    return trace
+    if not decrypt_too:
+        return trace
+    chunks = [trace]
+    for i in range(0, len(ciphertext), 16):
+        block = ciphertext[i:i + 16]
+        _, block_trace = aes.decrypt_block_traced(
+            block, message_offset=(i * 2) % 0x8000)
+        chunks.append(block_trace)
+    return Trace.concat(chunks)
 
 
 #: bump whenever :func:`make_cbc_trace` changes output for the same
@@ -71,7 +72,7 @@ def cached_cbc_trace(message_kb: int = 32, seed: int = 0,
     processes via the disk layer.
     """
     key = ("cbc", message_kb, seed, decrypt_too, AES_TRACE_VERSION)
-    return TRACE_CACHE.get(
+    return TRACE_CACHE.get_trace(
         key, lambda: make_cbc_trace(message_kb=message_kb, seed=seed,
                                     decrypt_too=decrypt_too))
 

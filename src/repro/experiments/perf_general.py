@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.profiling import ProfileResult, profile_reference_ratio
 from repro.core.window import RandomFillWindow
 from repro.cpu.timing import SimResult, TimingModel
+from repro.cpu.trace import Trace
 from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
 from repro.experiments.schemes import build_scheme
 from repro.runner.cells import CellSpec
@@ -82,7 +83,14 @@ _WARM_FOOTPRINTS_MAX = 8
 
 
 def _warm_footprint(trace, split: int, line_bits: int) -> List[int]:
-    """Consecutive-deduped line addresses of ``trace[:split]``."""
+    """Consecutive-deduped line addresses of ``trace[:split]``.
+
+    Columnar traces delegate to the vectorized (and trace-memoized)
+    :meth:`repro.cpu.decode.TraceDecode.warm_footprint`; the scan below
+    serves ad-hoc record lists.
+    """
+    if isinstance(trace, Trace):
+        return trace.decoded(line_bits).warm_footprint(split)
     key = (id(trace), split, line_bits)
     memo = _WARM_FOOTPRINTS
     hit = memo.get(key)
@@ -147,9 +155,11 @@ def run_general_workload(benchmark: str, window: Tuple[int, int],
     if warm:
         # Warm on the first half, measure the second — reused working
         # sets are resident, touch-once stream fronts stay cold.  The
-        # halves are islice views, not sliced copies: the trace may be
-        # shared through the trace cache and must not be duplicated
-        # (or mutated) per cell.
+        # measured half is a zero-copy view (columnar slice, memoized
+        # on the shared trace so every window cell of a sweep reuses
+        # one view and its decode) or an islice for record lists; the
+        # trace may be shared through the trace cache and must not be
+        # duplicated (or mutated) per cell.
         split = len(trace) // 2
         store = scheme.hierarchy.l2.tag_store
         line_bits = scheme.config.line_size.bit_length() - 1
@@ -158,7 +168,8 @@ def run_general_workload(benchmark: str, window: Tuple[int, int],
         for line in _warm_footprint(trace, split, line_bits):
             if not access(line):
                 fill(line)
-        trace = islice(trace, split, None)
+        trace = trace[split:] if isinstance(trace, Trace) \
+            else islice(trace, split, None)
     timing = TimingModel(scheme.l1, issue_width=config.issue_width,
                          overlap_credit=config.overlap_credit)
     return timing.run(trace)

@@ -42,6 +42,11 @@ DEFAULT_TRIALS = {"eq7": 6000, "flush_reload": 1500, "occupancy": 800}
 #: Table III window sizes that enable random fill (size 1 = demand fetch)
 RANDOM_FILL_WINDOW_SIZES = (2, 4, 8, 16, 32)
 
+#: bump whenever leakage measurement code changes results for unchanged
+#: specs (estimators, channel samplers, adapters, seed derivation) — it
+#: keys the runner's content-addressed result cache.
+LEAKAGE_CODE_VERSION = 1
+
 
 @dataclass(frozen=True)
 class LeakageCellSpec:
@@ -91,6 +96,12 @@ class LeakageCellSpec:
         if self.window is None:
             return 1
         return self.window[0] + self.window[1] + 1
+
+    def result_cache_token(self) -> str:
+        """Code-version key for the runner's result cache (a leakage
+        cell's result depends only on this module's measurement code,
+        not on the trace generators)."""
+        return f"leakage{LEAKAGE_CODE_VERSION}"
 
     # -- execution --------------------------------------------------------
 

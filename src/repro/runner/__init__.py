@@ -9,22 +9,32 @@ This package turns a figure sweep into an explicit list of picklable
   ``run_cell`` function every worker executes,
 * :mod:`repro.runner.pool` — ``run_cells`` (ordered fan-out over a
   ``ProcessPoolExecutor``) and the ``REPRO_JOBS`` job-count knob,
+* :mod:`repro.runner.result_cache` — the content-addressed per-cell
+  result cache that makes re-run sweeps incremental,
+* :mod:`repro.runner.profiler` — ``--profile`` support: run one cell
+  under cProfile and print the top cumulative hotspots,
 * :mod:`repro.runner.report` — merge wall-clock / throughput numbers
   into ``BENCH_runner.json``.
 
 Because ``run_cell`` is a pure function of its spec (fresh scheme,
 deterministically derived RNG seeds, trace regenerated or loaded from
 the content-addressed trace cache), a sweep's results are bit-identical
-whether it runs inline, across 2 workers, or across 32.
+whether it runs inline, across 2 workers, or across 32 — and the result
+cache can key a cell's result on a fingerprint of spec + code versions.
 """
 
 from repro.runner.cells import CellSpec, run_cell
 from repro.runner.pool import last_run_stats, resolve_jobs, run_cells
+from repro.runner.profiler import profile_cell
 from repro.runner.report import record_bench
+from repro.runner.result_cache import RESULT_CACHE, ResultCache
 
 __all__ = [
     "CellSpec",
+    "RESULT_CACHE",
+    "ResultCache",
     "last_run_stats",
+    "profile_cell",
     "record_bench",
     "resolve_jobs",
     "run_cell",

@@ -54,6 +54,20 @@ class CellSpec:
             known = ", ".join(CELL_KINDS)
             raise ValueError(f"unknown cell kind {self.kind!r}; known: {known}")
 
+    def result_cache_token(self) -> str:
+        """Versions of everything this cell's result depends on.
+
+        Together with ``repr(self)`` (every spec field, including the
+        full simulator config) and the runner-wide ``SIM_CODE_VERSION``
+        this keys the content-addressed result cache — bump any named
+        version and old entries are orphaned instead of served stale.
+        Imports are deferred: the experiment modules import this module
+        at top level.
+        """
+        from repro.experiments.perf_crypto import AES_TRACE_VERSION
+        from repro.workloads.spec import GENERATOR_VERSION
+        return f"gen{GENERATOR_VERSION}|aes{AES_TRACE_VERSION}"
+
 
 def run_cell(spec):
     """Execute one cell; the result type depends on the spec.

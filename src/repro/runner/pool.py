@@ -13,6 +13,17 @@ Job count resolution (first match wins):
 ``jobs == 1`` (or a single cell) runs inline — no executor, no pickle
 round-trip — which is also what keeps the whole suite usable on
 single-core machines and under debuggers.
+
+Sweeps are **incremental**: before dispatching, the parent process
+consults the content-addressed result cache
+(:mod:`repro.runner.result_cache`) and only the cells whose fingerprint
+misses are computed; everything else is served from disk.  Workers
+receive only the small spec values — traces travel as trace-cache keys
+(benchmark name / message size / seed inside the spec), never as
+pickled record payloads — and the pending cells are dispatched in
+chunks so each worker amortizes its process and pickle overhead over
+several cells.  Results are bit-identical with the cache on or off and
+for any job count.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
 from repro.runner.cells import run_cell
+from repro.runner.result_cache import RESULT_CACHE, ResultCache
 
 #: statistics of the most recent ``run_cells`` call in this process
 _LAST_RUN: Dict[str, float] = {}
@@ -42,32 +54,70 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def run_cells(specs: Sequence, jobs: Optional[int] = None,
-              chunksize: Optional[int] = None) -> List:
+              chunksize: Optional[int] = None,
+              result_cache: Optional[ResultCache] = None) -> List:
     """Run every cell; returns results in the order of ``specs``.
 
     Accepts :class:`CellSpec` instances or any other picklable spec
     :func:`run_cell` understands (specs with a ``run()`` method).
 
     ``jobs`` follows :func:`resolve_jobs`; ``chunksize`` (pool mode
-    only) defaults to ``len(specs) // (jobs * 4)`` so each worker gets
+    only) defaults to ``pending // (jobs * 4)`` so each worker gets
     several batches, balancing stragglers against pickle overhead.
+
+    ``result_cache`` defaults to the process-wide
+    :data:`~repro.runner.result_cache.RESULT_CACHE`; cells whose
+    fingerprint is already stored are not recomputed.  Only specs that
+    expose ``result_cache_token()`` participate — others always run.
     """
     jobs = resolve_jobs(jobs)
     started = time.perf_counter()
-    if jobs == 1 or len(specs) <= 1:
-        results = [run_cell(spec) for spec in specs]
-        jobs_used = 1
+    cache = RESULT_CACHE if result_cache is None else result_cache
+
+    total = len(specs)
+    results: List = [None] * total
+    fingerprints: List[Optional[str]] = [None] * total
+    pending: List[int] = []
+    cache_hits = 0
+    cache_misses = 0
+    if cache.enabled:
+        for i, spec in enumerate(specs):
+            fingerprint = cache.fingerprint(spec)
+            fingerprints[i] = fingerprint
+            if fingerprint is not None:
+                cached = cache.load(fingerprint)
+                if cached is not None:
+                    results[i] = cached
+                    cache_hits += 1
+                    continue
+                cache_misses += 1
+            pending.append(i)
     else:
-        jobs_used = min(jobs, len(specs))
-        if chunksize is None:
-            chunksize = max(1, len(specs) // (jobs_used * 4))
-        with ProcessPoolExecutor(max_workers=jobs_used) as pool:
-            results = list(pool.map(run_cell, specs, chunksize=chunksize))
+        pending = list(range(total))
+
+    jobs_used = 1
+    if pending:
+        pending_specs = [specs[i] for i in pending]
+        if jobs == 1 or len(pending_specs) <= 1:
+            computed = [run_cell(spec) for spec in pending_specs]
+        else:
+            jobs_used = min(jobs, len(pending_specs))
+            if chunksize is None:
+                chunksize = max(1, len(pending_specs) // (jobs_used * 4))
+            with ProcessPoolExecutor(max_workers=jobs_used) as pool:
+                computed = list(pool.map(run_cell, pending_specs,
+                                         chunksize=chunksize))
+        for i, result in zip(pending, computed):
+            results[i] = result
+            if fingerprints[i] is not None:
+                cache.store(fingerprints[i], result)
+
     elapsed = time.perf_counter() - started
     _LAST_RUN.clear()
     _LAST_RUN.update(
-        cells=len(specs), jobs=jobs_used, seconds=elapsed,
-        cells_per_sec=(len(specs) / elapsed) if elapsed > 0 else 0.0)
+        cells=total, jobs=jobs_used, seconds=elapsed,
+        cells_per_sec=(total / elapsed) if elapsed > 0 else 0.0,
+        result_cache_hits=cache_hits, result_cache_misses=cache_misses)
     return results
 
 

@@ -1,0 +1,45 @@
+"""``--profile`` support: run one sweep cell under cProfile.
+
+Future performance work should be measured, not guessed, so every sweep
+CLI can profile a single representative cell: ``python -m repro sweep
+fig10 --profile`` (and ``leakage --profile``) runs the first cell of
+the sweep grid under :mod:`cProfile` and prints the top cumulative
+hotspots instead of running the sweep.
+
+The cell executes inline (no worker pool, result cache bypassed) so the
+profile shows simulation cost, not IPC overhead or a cache hit.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Optional
+
+from repro.runner.cells import run_cell
+
+#: rows of the flat profile shown by default
+DEFAULT_TOP = 20
+
+
+def profile_cell(spec, top: int = DEFAULT_TOP,
+                 stream: Optional[io.TextIOBase] = None):
+    """Run one cell under cProfile; returns ``(result, report_text)``.
+
+    ``report_text`` is the top-``top`` cumulative-time rows of the flat
+    profile (also written to ``stream`` when given).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_cell(spec)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    report = buffer.getvalue()
+    if stream is not None:
+        stream.write(report)
+    return result, report

@@ -1,0 +1,154 @@
+"""Content-addressed cache of per-cell sweep results.
+
+A sweep cell is a pure function of its spec (that is what makes the
+parallel runner bit-identical for any job count), so its *result* is
+fully identified by a fingerprint of
+
+* the spec itself (``repr`` of the frozen dataclass — every field,
+  including the simulator config, participates),
+* the spec's ``result_cache_token()`` — a version string naming every
+  piece of code whose behaviour the result depends on (simulator
+  semantics, trace generators); bumping any named version orphans old
+  entries rather than serving stale results,
+* :data:`SIM_CODE_VERSION` below, the simulator-wide version.
+
+``run_cells`` consults this cache in the parent process before
+dispatching: cells already computed by a previous run (or an earlier
+identical spec in this run) are served from disk, making re-run sweeps
+incremental — only changed cells simulate.
+
+Specs without a ``result_cache_token()`` method are never cached (their
+result may not be a pure function of ``repr``), so arbitrary run()-specs
+keep working unchanged.
+
+The disk layout mirrors the trace cache: one pickle per fingerprint
+under ``~/.cache/repro/results`` (override with ``REPRO_RESULT_CACHE``,
+disable with ``0``/``off``/``none``/``disabled``), atomic writes,
+unreadable entries treated as misses, and the shared mtime-LRU size
+bound (``REPRO_CACHE_MAX_MB``, see :mod:`repro.util.diskcache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.util.diskcache import maybe_evict
+
+#: bump when simulator semantics change results for unchanged specs
+#: (timing model, controller, scheme construction, RNG derivation, ...)
+SIM_CODE_VERSION = 2
+
+#: ``REPRO_RESULT_CACHE`` values that disable the cache
+_DISABLED_VALUES = frozenset({"0", "off", "none", "disabled"})
+
+
+def default_result_dir() -> Optional[str]:
+    """Resolve the result-cache directory from the environment."""
+    override = os.environ.get("REPRO_RESULT_CACHE")
+    if override is not None:
+        if override.strip().lower() in _DISABLED_VALUES:
+            return None
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "results")
+
+
+class ResultCache:
+    """Disk cache of cell results keyed by spec + code-version hash."""
+
+    def __init__(self, disk_dir: Optional[str] = None,
+                 use_default_disk_dir: bool = True):
+        if disk_dir is None and use_default_disk_dir:
+            disk_dir = default_result_dir()
+        self.disk_dir = disk_dir
+        self.hits = 0
+        self.misses = 0
+        self.store_failures = 0
+        self._suspended = 0
+
+    # -- keying --------------------------------------------------------------
+
+    @staticmethod
+    def fingerprint(spec) -> Optional[str]:
+        """Content hash identifying ``spec``'s result; ``None`` if the
+        spec does not opt into result caching."""
+        token_fn = getattr(spec, "result_cache_token", None)
+        if token_fn is None:
+            return None
+        material = (f"result:v{SIM_CODE_VERSION}|{token_fn()}|"
+                    f"{type(spec).__qualname__}|{spec!r}")
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path_for(self, fingerprint: str) -> str:
+        return os.path.join(self.disk_dir, f"{fingerprint}.result")
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.disk_dir is not None and not self._suspended
+
+    @contextmanager
+    def disabled(self):
+        """Temporarily bypass the cache (benchmarks measure cold runs)."""
+        self._suspended += 1
+        try:
+            yield self
+        finally:
+            self._suspended -= 1
+
+    # -- load/store ----------------------------------------------------------
+
+    def load(self, fingerprint: str):
+        """The cached result, or ``None`` on any kind of miss."""
+        if not self.enabled:
+            return None
+        path = self._path_for(fingerprint)
+        try:
+            with open(path, "rb") as fh:
+                stored_fingerprint, result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                TypeError, AttributeError):
+            self.misses += 1
+            return None
+        if stored_fingerprint != fingerprint:
+            self.misses += 1
+            return None
+        try:
+            # A read keeps the entry young for the mtime-LRU bound.
+            os.utime(path)
+        except OSError:
+            pass
+        self.hits += 1
+        return result
+
+    def store(self, fingerprint: str, result) -> None:
+        if not self.enabled:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            path = self._path_for(fingerprint)
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump((fingerprint, result), fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            maybe_evict(self.disk_dir)
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            # Unpicklable results (or a full disk) only cost caching.
+            self.store_failures += 1
+
+
+#: process-wide result cache used by :func:`repro.runner.pool.run_cells`
+RESULT_CACHE = ResultCache()

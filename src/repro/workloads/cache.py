@@ -19,6 +19,13 @@ a directory to relocate the disk layer, or to ``0``/``off``/``none``/
 Disk entries are written atomically (temp file + ``os.replace``) so a
 crashed or concurrent writer can never leave a truncated entry behind;
 unreadable entries are treated as misses and regenerated.
+
+Columnar :class:`~repro.cpu.trace.Trace` values are stored as their
+three numpy columns (pickled as whole buffers — no per-record object
+encoding on either side); plain record lists keep the legacy list
+payload, and either form is read back transparently.  The disk layer
+shares the mtime-LRU size bound of :mod:`repro.util.diskcache`
+(``REPRO_CACHE_MAX_MB``).
 """
 
 from __future__ import annotations
@@ -28,9 +35,12 @@ import os
 import pickle
 import tempfile
 from collections import OrderedDict
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
-from repro.cpu.trace import TraceRecord
+import numpy as np
+
+from repro.cpu.trace import Trace
+from repro.util.diskcache import maybe_evict
 
 #: default number of traces the in-process LRU layer retains
 DEFAULT_MEMORY_ENTRIES = 32
@@ -65,7 +75,7 @@ class TraceCache:
         if disk_dir is None and use_default_disk_dir:
             disk_dir = default_cache_dir()
         self.disk_dir = disk_dir
-        self._memory: "OrderedDict[tuple, List[TraceRecord]]" = OrderedDict()
+        self._memory: "OrderedDict[tuple, object]" = OrderedDict()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -79,22 +89,50 @@ class TraceCache:
 
     # -- layers --------------------------------------------------------------
 
-    def _disk_load(self, key: tuple) -> Optional[List[TraceRecord]]:
+    #: payload marker for columnar trace entries (``(_COLUMNAR, addr,
+    #: gap, write)`` — legacy entries are the bare record list)
+    _COLUMNAR = "columns/v1"
+
+    def _disk_load(self, key: tuple):
         if self.disk_dir is None:
             return None
         path = self._path_for(self.disk_dir, key)
         try:
             with open(path, "rb") as fh:
-                stored_key, trace = pickle.load(fh)
+                stored_key, payload = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, ValueError,
                 TypeError, AttributeError):
             return None
         # A hash collision (or hand-edited file) must not alias keys.
-        if stored_key != key or not isinstance(trace, list):
+        if stored_key != key:
             return None
+        try:
+            # A read keeps the entry young for the mtime-LRU bound.
+            os.utime(path)
+        except OSError:
+            pass
+        if (isinstance(payload, tuple) and len(payload) == 4
+                and payload[0] == self._COLUMNAR):
+            addr, gap, write = payload[1:]
+            if not all(isinstance(col, np.ndarray) for col in payload[1:]):
+                return None
+            try:
+                return Trace(addr, gap, write)
+            except ValueError:
+                return None
+        if not isinstance(payload, list):
+            return None
+        return payload
+
+    @classmethod
+    def _payload_for(cls, trace):
+        if isinstance(trace, Trace):
+            return (cls._COLUMNAR, np.ascontiguousarray(trace.addr),
+                    np.ascontiguousarray(trace.gap),
+                    np.ascontiguousarray(trace.write))
         return trace
 
-    def _disk_store(self, key: tuple, trace: List[TraceRecord]) -> None:
+    def _disk_store(self, key: tuple, trace) -> None:
         if self.disk_dir is None:
             return
         try:
@@ -103,7 +141,7 @@ class TraceCache:
             fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump((key, trace), fh,
+                    pickle.dump((key, self._payload_for(trace)), fh,
                                 protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, path)
             except BaseException:
@@ -112,11 +150,12 @@ class TraceCache:
                 except OSError:
                     pass
                 raise
+            maybe_evict(self.disk_dir)
         except OSError:
             # A read-only or full filesystem only costs persistence.
             pass
 
-    def _remember(self, key: tuple, trace: List[TraceRecord]) -> None:
+    def _remember(self, key: tuple, trace) -> None:
         memory = self._memory
         memory[key] = trace
         memory.move_to_end(key)
@@ -125,12 +164,13 @@ class TraceCache:
 
     # -- public API ----------------------------------------------------------
 
-    def get(self, key: tuple,
-            maker: Callable[[], List[TraceRecord]]) -> List[TraceRecord]:
+    def get(self, key: tuple, maker: Callable[[], object]):
         """Return the trace for ``key``, generating it at most once.
 
-        Callers must treat the returned list as immutable: it is shared
-        between everyone asking for the same key.
+        Callers must treat the returned value as immutable: it is
+        shared between everyone asking for the same key.  Values are
+        columnar :class:`Trace` objects for the built-in workloads, but
+        any picklable value (e.g. a plain record list) is accepted.
         """
         memory = self._memory
         trace = memory.get(key)
@@ -149,6 +189,20 @@ class TraceCache:
         self._remember(key, trace)
         return trace
 
+    def get_trace(self, key: tuple, maker: Callable[[], object]) -> Trace:
+        """Like :meth:`get`, but guarantees a columnar :class:`Trace`.
+
+        Legacy disk entries (bare record lists written before the
+        columnar engine) are upgraded on load and the upgraded object
+        replaces the list in the memory layer, so the conversion
+        happens at most once per process.
+        """
+        trace = self.get(key, maker)
+        if not isinstance(trace, Trace):
+            trace = Trace.from_records(trace)
+            self._remember(key, trace)
+        return trace
+
     def clear_memory(self) -> None:
         """Drop the in-process layer (disk entries are untouched)."""
         self._memory.clear()
@@ -163,9 +217,9 @@ TRACE_CACHE = TraceCache()
 
 
 def cached_workload(name: str, n_refs: int = 100_000,
-                    seed: int = 0) -> List[TraceRecord]:
+                    seed: int = 0) -> Trace:
     """`make_workload` through the process-wide trace cache."""
     from repro.workloads.spec import GENERATOR_VERSION, make_workload
     key = ("spec", name, n_refs, seed, GENERATOR_VERSION)
-    return TRACE_CACHE.get(
+    return TRACE_CACHE.get_trace(
         key, lambda: make_workload(name, n_refs=n_refs, seed=seed))

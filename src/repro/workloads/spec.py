@@ -16,9 +16,9 @@ The traces are deterministic given (name, n_refs, seed).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
-from repro.cpu.trace import TraceRecord
+from repro.cpu.trace import Trace
 from repro.workloads.synthetic import (
     locality_mixture,
     pointer_chase,
@@ -31,13 +31,15 @@ WORKLOAD_BASE = 0x100_0000
 
 #: bump whenever any generator's output changes for the same
 #: (name, n_refs, seed) — it keys the on-disk trace cache, so stale
-#: cached traces are invalidated automatically.
+#: cached traces are invalidated automatically.  (The move to columnar
+#: traces did not bump it: record content is unchanged, and the disk
+#: layer reads legacy record-list entries transparently.)
 GENERATOR_VERSION = 1
 
-_GeneratorFn = Callable[[int, int], List[TraceRecord]]
+_GeneratorFn = Callable[[int, int], Trace]
 
 
-def _astar(n_refs: int, seed: int) -> List[TraceRecord]:
+def _astar(n_refs: int, seed: int) -> Trace:
     # Path-search over a large graph: mostly irregular, mild neighbors.
     return locality_mixture(
         n_refs, WORKLOAD_BASE, working_set_lines=4096, hot_lines=128,
@@ -45,7 +47,7 @@ def _astar(n_refs: int, seed: int) -> List[TraceRecord]:
         write_ratio=0.25, gap=4, seed=seed)
 
 
-def _bzip2(n_refs: int, seed: int) -> List[TraceRecord]:
+def _bzip2(n_refs: int, seed: int) -> Trace:
     # Block-sorting compression: strong hot set + short spatial runs.
     return locality_mixture(
         n_refs, WORKLOAD_BASE, working_set_lines=4096, hot_lines=256,
@@ -53,7 +55,7 @@ def _bzip2(n_refs: int, seed: int) -> List[TraceRecord]:
         write_ratio=0.3, gap=4, seed=seed)
 
 
-def _h264ref(n_refs: int, seed: int) -> List[TraceRecord]:
+def _h264ref(n_refs: int, seed: int) -> Trace:
     # Video encoding: high reuse of reference frames, short runs.
     return locality_mixture(
         n_refs, WORKLOAD_BASE, working_set_lines=2048, hot_lines=384,
@@ -61,7 +63,7 @@ def _h264ref(n_refs: int, seed: int) -> List[TraceRecord]:
         write_ratio=0.2, gap=5, seed=seed)
 
 
-def _sjeng(n_refs: int, seed: int) -> List[TraceRecord]:
+def _sjeng(n_refs: int, seed: int) -> Trace:
     # Chess search: scattered hot tables, near-zero spatial locality.
     return locality_mixture(
         n_refs, WORKLOAD_BASE, working_set_lines=4096, hot_lines=192,
@@ -69,14 +71,14 @@ def _sjeng(n_refs: int, seed: int) -> List[TraceRecord]:
         write_ratio=0.15, gap=6, seed=seed)
 
 
-def _milc(n_refs: int, seed: int) -> List[TraceRecord]:
+def _milc(n_refs: int, seed: int) -> Trace:
     # Lattice QCD: large strided sweeps, little next-line locality.
     return strided(
         n_refs, WORKLOAD_BASE, array_lines=16384, stride_lines=4,
         refs_per_line=2, write_ratio=0.15, gap=6, seed=seed)
 
 
-def _hmmer(n_refs: int, seed: int) -> List[TraceRecord]:
+def _hmmer(n_refs: int, seed: int) -> Trace:
     # Profile HMM search: tight hot loop over scattered profile rows.
     return locality_mixture(
         n_refs, WORKLOAD_BASE, working_set_lines=2048, hot_lines=160,
@@ -84,7 +86,7 @@ def _hmmer(n_refs: int, seed: int) -> List[TraceRecord]:
         write_ratio=0.1, gap=4, seed=seed)
 
 
-def _lbm(n_refs: int, seed: int) -> List[TraceRecord]:
+def _lbm(n_refs: int, seed: int) -> Trace:
     # Lattice Boltzmann: forward streaming with writes, slight stride
     # irregularity a next-line prefetcher cannot fully track.
     return streaming(
@@ -92,7 +94,7 @@ def _lbm(n_refs: int, seed: int) -> List[TraceRecord]:
         stride_lines_max=2, write_ratio=0.4, gap=4, seed=seed)
 
 
-def _libquantum(n_refs: int, seed: int) -> List[TraceRecord]:
+def _libquantum(n_refs: int, seed: int) -> Trace:
     # Quantum simulation: long irregular read streams over a huge array.
     return streaming(
         n_refs, WORKLOAD_BASE, array_lines=524288, refs_per_line=8,
@@ -119,7 +121,7 @@ STREAMING_BENCHMARKS = ("lbm", "libquantum")
 
 
 def make_workload(name: str, n_refs: int = 100_000,
-                  seed: int = 0) -> List[TraceRecord]:
+                  seed: int = 0) -> Trace:
     """Generate a named benchmark trace."""
     try:
         generator = SPEC_BENCHMARKS[name]

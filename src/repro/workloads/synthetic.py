@@ -8,8 +8,10 @@ property Figure 9 shows determines random-fill behaviour.  The
 primitives here are composed into named benchmarks by
 :mod:`repro.workloads.spec`.
 
-All generators return lists of trace records ``(byte_addr, gap, write)``
-(see :mod:`repro.cpu.trace`) and are deterministic given their seed.
+All generators emit columnar :class:`~repro.cpu.trace.Trace` objects
+of ``(byte_addr, gap, write)`` records (see :mod:`repro.cpu.trace`) —
+built by appending to plain per-column lists, then converted to numpy
+in one pass — and are deterministic given their seed.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.cpu.trace import TraceRecord
+from repro.cpu.trace import Trace
 
 LINE = 64
 
@@ -26,7 +28,7 @@ def streaming(n_refs: int, base: int, array_lines: int,
               refs_per_line: int = 8, stride_lines_max: int = 1,
               dense_prob: float = 0.7,
               write_ratio: float = 0.0, gap: int = 4,
-              seed: int = 0) -> List[TraceRecord]:
+              seed: int = 0) -> Trace:
     """Irregular forward streaming (the libquantum/lbm pattern).
 
     Walks forward over a large array, touching each visited line with
@@ -46,28 +48,29 @@ def streaming(n_refs: int, base: int, array_lines: int,
     if not 0.0 <= dense_prob <= 1.0:
         raise ValueError(f"dense_prob must be in [0, 1], got {dense_prob}")
     rng = random.Random(seed)
-    out: List[TraceRecord] = []
+    addrs: List[int] = []
+    writes: List[int] = []
     line = 0
     element_stride = LINE // refs_per_line
-    while len(out) < n_refs:
+    while len(addrs) < n_refs:
         line_base = base + (line % array_lines) * LINE
         for e in range(refs_per_line):
-            write = 1 if rng.random() < write_ratio else 0
-            out.append((line_base + e * element_stride, gap, write))
-            if len(out) >= n_refs:
+            writes.append(1 if rng.random() < write_ratio else 0)
+            addrs.append(line_base + e * element_stride)
+            if len(addrs) >= n_refs:
                 break
         if stride_lines_max <= 1 or rng.random() < dense_prob:
             line += 1
         else:
             line += rng.randint(2, stride_lines_max)
-    return out
+    return Trace.from_columns(addrs, [gap] * len(addrs), writes)
 
 
 def locality_mixture(n_refs: int, base: int, working_set_lines: int,
                      hot_lines: int, p_hot: float,
                      p_neighbor: float, neighbor_span: int,
                      refs_per_line: int = 2, write_ratio: float = 0.2,
-                     gap: int = 4, seed: int = 0) -> List[TraceRecord]:
+                     gap: int = 4, seed: int = 0) -> Trace:
     """General-purpose locality mixture (astar/bzip2/sjeng/... pattern).
 
     Each step picks the next *line* as one of:
@@ -89,11 +92,12 @@ def locality_mixture(n_refs: int, base: int, working_set_lines: int,
     if hot_lines > working_set_lines:
         raise ValueError("hot set larger than working set")
     rng = random.Random(seed)
-    out: List[TraceRecord] = []
+    addrs: List[int] = []
+    writes: List[int] = []
     prev_line = 0
     element_stride = max(1, LINE // refs_per_line)
     hot_set = rng.sample(range(working_set_lines), hot_lines)
-    while len(out) < n_refs:
+    while len(addrs) < n_refs:
         roll = rng.random()
         if roll < p_hot:
             line = hot_set[rng.randrange(hot_lines)]
@@ -105,16 +109,16 @@ def locality_mixture(n_refs: int, base: int, working_set_lines: int,
         prev_line = line
         line_base = base + line * LINE
         for e in range(refs_per_line):
-            write = 1 if rng.random() < write_ratio else 0
-            out.append((line_base + e * element_stride, gap, write))
-            if len(out) >= n_refs:
+            writes.append(1 if rng.random() < write_ratio else 0)
+            addrs.append(line_base + e * element_stride)
+            if len(addrs) >= n_refs:
                 break
-    return out
+    return Trace.from_columns(addrs, [gap] * len(addrs), writes)
 
 
 def strided(n_refs: int, base: int, array_lines: int, stride_lines: int,
             refs_per_line: int = 2, write_ratio: float = 0.1,
-            gap: int = 6, seed: int = 0) -> List[TraceRecord]:
+            gap: int = 6, seed: int = 0) -> Trace:
     """Regular strided sweep (the milc-like pattern): repeated passes
     with a fixed multi-line stride, so demand fetch sees no next-line
     spatial locality and neither does a next-line prefetcher."""
@@ -123,23 +127,24 @@ def strided(n_refs: int, base: int, array_lines: int, stride_lines: int,
     if stride_lines < 1:
         raise ValueError(f"stride_lines must be >= 1, got {stride_lines}")
     rng = random.Random(seed)
-    out: List[TraceRecord] = []
+    addrs: List[int] = []
+    writes: List[int] = []
     line = 0
     element_stride = max(1, LINE // refs_per_line)
-    while len(out) < n_refs:
+    while len(addrs) < n_refs:
         line_base = base + (line % array_lines) * LINE
         for e in range(refs_per_line):
-            write = 1 if rng.random() < write_ratio else 0
-            out.append((line_base + e * element_stride, gap, write))
-            if len(out) >= n_refs:
+            writes.append(1 if rng.random() < write_ratio else 0)
+            addrs.append(line_base + e * element_stride)
+            if len(addrs) >= n_refs:
                 break
         line += stride_lines
-    return out
+    return Trace.from_columns(addrs, [gap] * len(addrs), writes)
 
 
 def pointer_chase(n_refs: int, base: int, working_set_lines: int,
                   gap: int = 5, write_ratio: float = 0.05,
-                  seed: int = 0) -> List[TraceRecord]:
+                  seed: int = 0) -> Trace:
     """Pointer chasing over a shuffled cycle: no spatial locality at all,
     temporal locality only through working-set size (the astar/sjeng
     irregular-control pattern)."""
@@ -152,10 +157,11 @@ def pointer_chase(n_refs: int, base: int, working_set_lines: int,
     rng.shuffle(order)
     successor = {order[i]: order[(i + 1) % working_set_lines]
                  for i in range(working_set_lines)}
-    out: List[TraceRecord] = []
+    addrs: List[int] = []
+    writes: List[int] = []
     line = order[0]
     for _ in range(n_refs):
-        write = 1 if rng.random() < write_ratio else 0
-        out.append((base + line * LINE + rng.randrange(8) * 8, gap, write))
+        writes.append(1 if rng.random() < write_ratio else 0)
+        addrs.append(base + line * LINE + rng.randrange(8) * 8)
         line = successor[line]
-    return out
+    return Trace.from_columns(addrs, [gap] * n_refs, writes)

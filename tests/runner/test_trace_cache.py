@@ -104,6 +104,30 @@ class TestDiskLayer:
         assert TraceCache().disk_dir == str(tmp_path)
 
 
+class TestGetTrace:
+    def test_upgrades_legacy_list_entries(self, tmp_path):
+        """Disk entries written before the columnar engine are bare
+        record lists; get_trace must hand back a columnar Trace."""
+        from repro.cpu.trace import Trace
+        key = ("spec", "demo", 3, 0, GENERATOR_VERSION)
+        records = [(64 * i, 1, 0) for i in range(3)]
+        writer = TraceCache(disk_dir=str(tmp_path))
+        writer._disk_store(key, records)  # legacy list payload
+        reader = TraceCache(disk_dir=str(tmp_path))
+        trace = reader.get_trace(
+            key, lambda: pytest.fail("expected a disk hit"))
+        assert isinstance(trace, Trace)
+        assert trace == records
+        # Upgrade happens once: the memory layer now holds the Trace.
+        assert reader.get_trace(key, lambda: pytest.fail("hit")) is trace
+
+    def test_passes_columnar_through(self):
+        from repro.cpu.trace import Trace
+        cache = memory_only()
+        trace = Trace.from_records([(0, 1, 0)])
+        assert cache.get_trace("k", lambda: trace) is trace
+
+
 class TestCachedWorkload:
     def test_matches_direct_generation(self, monkeypatch):
         monkeypatch.setattr(cache_mod.TRACE_CACHE, "disk_dir", None)

@@ -1,0 +1,124 @@
+"""Tests for the mtime-LRU size bound on the on-disk caches."""
+
+import os
+
+import pytest
+
+from repro.util.diskcache import (
+    DEFAULT_MAX_MB,
+    cache_root,
+    clear_dir,
+    dir_stats,
+    evict_lru,
+    max_cache_bytes,
+    maybe_evict,
+)
+
+
+def make_entry(directory, name, size, mtime):
+    path = os.path.join(directory, name)
+    with open(path, "wb") as fh:
+        fh.write(b"x" * size)
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestBudget:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert max_cache_bytes() == DEFAULT_MAX_MB * 1024 * 1024
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "2")
+        assert max_cache_bytes() == 2 * 1024 * 1024
+
+    def test_fractional(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.5")
+        assert max_cache_bytes() == 512 * 1024
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_nonpositive_disables(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", value)
+        assert max_cache_bytes() is None
+
+    def test_garbage_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "lots")
+        assert max_cache_bytes() == DEFAULT_MAX_MB * 1024 * 1024
+
+    def test_cache_root_is_shared_parent(self):
+        assert cache_root().endswith(os.path.join(".cache", "repro"))
+
+
+class TestDirStats:
+    def test_counts_files_and_bytes(self, tmp_path):
+        make_entry(str(tmp_path), "a", 10, 100)
+        make_entry(str(tmp_path), "b", 30, 200)
+        assert dir_stats(str(tmp_path)) == {"files": 2, "bytes": 40}
+
+    def test_missing_dir(self, tmp_path):
+        assert dir_stats(str(tmp_path / "nope")) == {"files": 0, "bytes": 0}
+
+    def test_none_dir(self):
+        assert dir_stats(None) == {"files": 0, "bytes": 0}
+
+
+class TestEvictLru:
+    def test_oldest_mtime_evicted_first(self, tmp_path):
+        directory = str(tmp_path)
+        old = make_entry(directory, "old", 40, 100)
+        mid = make_entry(directory, "mid", 40, 200)
+        new = make_entry(directory, "new", 40, 300)
+        removed = evict_lru(directory, max_bytes=90)
+        assert removed == 1
+        assert not os.path.exists(old)
+        assert os.path.exists(mid) and os.path.exists(new)
+
+    def test_evicts_until_within_budget(self, tmp_path):
+        directory = str(tmp_path)
+        for i in range(5):
+            make_entry(directory, f"f{i}", 100, 100 + i)
+        assert evict_lru(directory, max_bytes=250) == 3
+        assert dir_stats(directory)["bytes"] == 200
+
+    def test_noop_when_under_budget(self, tmp_path):
+        make_entry(str(tmp_path), "a", 10, 100)
+        assert evict_lru(str(tmp_path), max_bytes=1000) == 0
+
+    def test_read_keeps_entry_young(self, tmp_path):
+        """A utime bump (what cache loads do) protects an entry."""
+        directory = str(tmp_path)
+        a = make_entry(directory, "a", 50, 100)
+        b = make_entry(directory, "b", 50, 200)
+        os.utime(a)  # "read" the older entry now
+        evict_lru(directory, max_bytes=60)
+        assert os.path.exists(a)
+        assert not os.path.exists(b)
+
+
+class TestMaybeEvict:
+    def test_honours_env_budget(self, tmp_path, monkeypatch):
+        directory = str(tmp_path)
+        for i in range(4):
+            make_entry(directory, f"f{i}", 512 * 1024, 100 + i)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1")
+        assert maybe_evict(directory) == 2
+        assert dir_stats(directory)["bytes"] <= 1024 * 1024
+
+    def test_disabled_budget_never_evicts(self, tmp_path, monkeypatch):
+        make_entry(str(tmp_path), "a", 1024, 100)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0")
+        assert maybe_evict(str(tmp_path)) == 0
+
+    def test_none_dir(self):
+        assert maybe_evict(None) == 0
+
+
+class TestClearDir:
+    def test_removes_everything(self, tmp_path):
+        make_entry(str(tmp_path), "a", 10, 100)
+        make_entry(str(tmp_path), "b", 20, 200)
+        assert clear_dir(str(tmp_path)) == {"files": 2, "bytes": 30}
+        assert dir_stats(str(tmp_path)) == {"files": 0, "bytes": 0}
+
+    def test_none_dir(self):
+        assert clear_dir(None) == {"files": 0, "bytes": 0}
