@@ -7,7 +7,6 @@ rows are printed (visible with ``pytest -s``) and saved under
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"

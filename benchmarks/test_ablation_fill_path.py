@@ -16,7 +16,6 @@ from _reporting import save_report
 
 from repro.cache.mshr import RequestType
 from repro.experiments.config import BASELINE_CONFIG, scaled
-from repro.experiments.perf_general import run_general_workload
 from repro.experiments.schemes import build_scheme
 from repro.cpu.timing import TimingModel
 from repro.util.tables import format_table

@@ -14,7 +14,7 @@ bidirectional.
 from _reporting import save_report
 
 from repro.experiments.config import scaled
-from repro.experiments.perf_general import FIGURE10_WINDOWS, figure10
+from repro.experiments.perf_general import figure10
 from repro.util.tables import format_table
 
 

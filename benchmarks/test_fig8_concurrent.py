@@ -15,7 +15,7 @@ from statistics import mean
 from _reporting import save_report
 
 from repro.experiments.config import scaled
-from repro.experiments.perf_concurrent import FIGURE8_SCHEMES, figure8
+from repro.experiments.perf_concurrent import figure8
 from repro.util.tables import format_table
 
 

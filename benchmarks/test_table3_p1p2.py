@@ -19,7 +19,6 @@ from repro.util.tables import format_table
 
 
 def run():
-    caps_scale = scaled(1, minimum=1)
     attack_caps = {1: scaled(25_000, 1_000), 2: scaled(8_000, 500),
                    4: scaled(4_000, 500), 8: 0, 16: 0, 32: 0}
     return table3(substrates=("sa", "newcache"),

@@ -6,8 +6,12 @@ attack against demand fetch succeeds; against the random fill cache it
 fails).
 
 ``python -m repro sweep <figure>`` runs one evaluation sweep through
-the parallel runner (``--jobs`` / ``REPRO_JOBS``) and appends its
-wall-clock and throughput to ``BENCH_runner.json``.
+the supervised parallel runner (``--jobs`` / ``REPRO_JOBS``; per-cell
+retry and timeout via ``REPRO_CELL_RETRIES`` / ``REPRO_CELL_TIMEOUT``)
+and appends its wall-clock and throughput to ``BENCH_runner.json``.
+``--telemetry PATH`` streams a JSONL event log of the run; ``--resume``
+re-runs an interrupted sweep, recomputing only the cells that had not
+been checkpointed into the result cache.
 
 ``python -m repro leakage`` runs the unified leakage sweep — empirical
 mutual information, guessing entropy and success-rate curves for the
@@ -99,6 +103,47 @@ def _run_profile(spec) -> None:
     print(report)
 
 
+def _resolve_jobs_or_exit(jobs):
+    """CLI-friendly job resolution: a bad ``--jobs`` / ``REPRO_JOBS``
+    is a usage error, not a traceback."""
+    from repro.runner.pool import resolve_jobs
+
+    try:
+        return resolve_jobs(jobs)
+    except ValueError as error:
+        sys.exit(f"error: {error}")
+
+
+def _check_resume(resume: bool) -> None:
+    """``--resume`` relies on the result-cache checkpoints; refuse to
+    pretend when the cache is disabled."""
+    if not resume:
+        return
+    from repro.runner.result_cache import RESULT_CACHE
+    if not RESULT_CACHE.enabled:
+        sys.exit("--resume needs the result cache, but it is disabled "
+                 "(REPRO_RESULT_CACHE); unset it and re-run")
+
+
+def _print_run_stats(stats: dict, jobs: int, resume: bool = False) -> None:
+    """Shared post-sweep summary: throughput plus supervision counters."""
+    print(f"\n{stats['cells']:.0f} cells in {stats['seconds']:.2f}s "
+          f"({stats['cells_per_sec']:.1f} cells/s, jobs={jobs}, "
+          f"cell latency p50 {stats.get('latency_p50_s', 0):.3f}s / "
+          f"p95 {stats.get('latency_p95_s', 0):.3f}s)")
+    if resume:
+        print(f"resumed: {stats.get('result_cache_hits', 0):.0f} cells "
+              f"restored from checkpoints, "
+              f"{stats.get('result_cache_misses', 0):.0f} recomputed")
+    supervision = {name: stats.get(name, 0)
+                   for name in ("retries", "timeouts", "pool_restarts",
+                                "inline_fallback")}
+    if any(supervision.values()):
+        print("supervision: " + ", ".join(
+            f"{name}={value:.0f}" for name, value in supervision.items()
+            if value))
+
+
 def sweep(args: argparse.Namespace) -> None:
     from repro.experiments.perf_concurrent import figure8
     from repro.experiments.perf_crypto import figure6, figure7
@@ -107,54 +152,55 @@ def sweep(args: argparse.Namespace) -> None:
         figure10,
         prefetcher_comparison,
     )
-    from repro.runner.pool import last_run_stats, resolve_jobs
+    from repro.runner.pool import last_run_stats, run_context
     from repro.runner.report import record_bench
 
     if args.profile:
         _run_profile(_sweep_profile_spec(args))
         return
-    jobs = resolve_jobs(args.jobs)
+    _check_resume(args.resume)
+    jobs = _resolve_jobs_or_exit(args.jobs)
     print(f"sweep {args.figure}: {SWEEPS[args.figure]} "
           f"(jobs={jobs}, seed={args.seed})")
-    if args.figure == "fig6":
-        points = figure6(message_kb=args.message_kb, seed=args.seed,
-                         jobs=jobs)
-        for p in points:
-            print(f"  {p.scheme:20s} {p.l1_size // 1024:2d}KB "
-                  f"{p.l1_assoc}-way  normalized IPC "
-                  f"{p.normalized_ipc:.3f}")
-    elif args.figure == "fig7":
-        series = figure7(message_kb=args.message_kb, seed=args.seed,
-                         jobs=jobs)
-        for label, pts in series.items():
-            curve = ", ".join(f"W={w}: {v:.3f}" for w, v in pts)
-            print(f"  {label:16s} {curve}")
-    elif args.figure == "fig8":
-        points = figure8(n_refs=args.n_refs, seed=args.seed, jobs=jobs)
-        for p in points:
-            print(f"  {p.benchmark:11s} {p.scheme:20s} "
-                  f"{p.l1_size // 1024:2d}KB {p.l1_assoc}-way  "
-                  f"normalized throughput {p.normalized_throughput:.3f}")
-    elif args.figure == "fig9":
-        profiles = figure9(n_refs=args.n_refs, seed=args.seed, jobs=jobs)
-        for benchmark, profile in profiles.items():
-            print(f"  {benchmark:11s} Eff(0)={profile.eff(0):.3f}")
-    elif args.figure == "fig10":
-        points = figure10(n_refs=args.n_refs, seed=args.seed, jobs=jobs)
-        for p in points:
-            print(f"  {p.benchmark:11s} {p.label:9s} "
-                  f"L1 MPKI {p.result.l1_mpki:7.2f}  "
-                  f"normalized IPC {p.normalized_ipc:.3f}")
-    else:  # prefetch
-        rows = prefetcher_comparison(n_refs=args.n_refs, seed=args.seed,
-                                     jobs=jobs)
-        for row in rows:
-            print(f"  {row['benchmark']:11s} "
-                  f"tagged x{row['tagged_speedup']:.3f}  "
-                  f"random fill x{row['random_fill_speedup']:.3f}")
+    with run_context(telemetry=args.telemetry or None):
+        if args.figure == "fig6":
+            points = figure6(message_kb=args.message_kb, seed=args.seed,
+                             jobs=jobs)
+            for p in points:
+                print(f"  {p.scheme:20s} {p.l1_size // 1024:2d}KB "
+                      f"{p.l1_assoc}-way  normalized IPC "
+                      f"{p.normalized_ipc:.3f}")
+        elif args.figure == "fig7":
+            series = figure7(message_kb=args.message_kb, seed=args.seed,
+                             jobs=jobs)
+            for label, pts in series.items():
+                curve = ", ".join(f"W={w}: {v:.3f}" for w, v in pts)
+                print(f"  {label:16s} {curve}")
+        elif args.figure == "fig8":
+            points = figure8(n_refs=args.n_refs, seed=args.seed, jobs=jobs)
+            for p in points:
+                print(f"  {p.benchmark:11s} {p.scheme:20s} "
+                      f"{p.l1_size // 1024:2d}KB {p.l1_assoc}-way  "
+                      f"normalized throughput {p.normalized_throughput:.3f}")
+        elif args.figure == "fig9":
+            profiles = figure9(n_refs=args.n_refs, seed=args.seed, jobs=jobs)
+            for benchmark, profile in profiles.items():
+                print(f"  {benchmark:11s} Eff(0)={profile.eff(0):.3f}")
+        elif args.figure == "fig10":
+            points = figure10(n_refs=args.n_refs, seed=args.seed, jobs=jobs)
+            for p in points:
+                print(f"  {p.benchmark:11s} {p.label:9s} "
+                      f"L1 MPKI {p.result.l1_mpki:7.2f}  "
+                      f"normalized IPC {p.normalized_ipc:.3f}")
+        else:  # prefetch
+            rows = prefetcher_comparison(n_refs=args.n_refs, seed=args.seed,
+                                         jobs=jobs)
+            for row in rows:
+                print(f"  {row['benchmark']:11s} "
+                      f"tagged x{row['tagged_speedup']:.3f}  "
+                      f"random fill x{row['random_fill_speedup']:.3f}")
     stats = last_run_stats()
-    print(f"\n{stats['cells']:.0f} cells in {stats['seconds']:.2f}s "
-          f"({stats['cells_per_sec']:.1f} cells/s, jobs={jobs})")
+    _print_run_stats(stats, jobs, resume=args.resume)
     if args.report:
         entry = {"figure": args.figure, "seed": args.seed, **stats}
         record_bench(f"sweep_{args.figure}", entry, path=args.report)
@@ -168,9 +214,10 @@ def leakage(args: argparse.Namespace) -> None:
         write_leakage_report,
     )
     from repro.leakage.sweep import leakage_grid, run_leakage_sweep
-    from repro.runner.pool import last_run_stats, resolve_jobs
+    from repro.runner.pool import last_run_stats, run_context
 
-    jobs = resolve_jobs(args.jobs)
+    _check_resume(args.resume)
+    jobs = _resolve_jobs_or_exit(args.jobs)
     grid_kwargs = dict(
         m_lines=args.m_lines, trials=args.trials,
         seeds=tuple(args.seed + i for i in range(args.seeds)))
@@ -194,7 +241,8 @@ def leakage(args: argparse.Namespace) -> None:
         return
     print(f"leakage sweep: {len(specs)} cells "
           f"(jobs={jobs}, seed={args.seed}, seeds={args.seeds})")
-    results = run_leakage_sweep(specs, jobs=jobs)
+    with run_context(telemetry=args.telemetry or None):
+        results = run_leakage_sweep(specs, jobs=jobs)
     print(format_leakage_table(results))
 
     validation = validate_results(results)
@@ -204,8 +252,7 @@ def leakage(args: argparse.Namespace) -> None:
         if not check["ok"]:
             print(f"  FAIL {check['check']}: {check['detail']}")
     stats = last_run_stats()
-    print(f"{stats['cells']:.0f} cells in {stats['seconds']:.2f}s "
-          f"({stats['cells_per_sec']:.1f} cells/s, jobs={jobs})")
+    _print_run_stats(stats, jobs, resume=args.resume)
     if args.report:
         write_leakage_report(results, validation=validation,
                              stats={"seed": args.seed, **stats},
@@ -262,6 +309,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="master seed for traces and schemes")
     sp.add_argument("--report", default="BENCH_runner.json",
                     help="benchmark report file ('' to skip recording)")
+    sp.add_argument("--telemetry", default="", metavar="PATH",
+                    help="append a JSONL event log of the run (cell "
+                    "start/finish/retry/timeout, pool restarts) to PATH")
+    sp.add_argument("--resume", action="store_true",
+                    help="resume an interrupted sweep: recompute only the "
+                    "cells missing from the result-cache checkpoints and "
+                    "report how many were restored")
     sp.add_argument("--profile", action="store_true",
                     help="run ONE representative cell under cProfile and "
                     "print the top-20 cumulative hotspots instead of "
@@ -289,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit non-zero if any validation check fails")
     lp.add_argument("--report", default="BENCH_leakage.json",
                     help="leakage report file ('' to skip recording)")
+    lp.add_argument("--telemetry", default="", metavar="PATH",
+                    help="append a JSONL event log of the run (cell "
+                    "start/finish/retry/timeout, pool restarts) to PATH")
+    lp.add_argument("--resume", action="store_true",
+                    help="resume an interrupted sweep: recompute only the "
+                    "cells missing from the result-cache checkpoints and "
+                    "report how many were restored")
     lp.add_argument("--profile", action="store_true",
                     help="run ONE grid cell under cProfile and print the "
                     "top-20 cumulative hotspots instead of the sweep")

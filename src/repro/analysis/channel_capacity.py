@@ -18,7 +18,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.core.window import RandomFillWindow
 
 
 @dataclass(frozen=True)

@@ -17,11 +17,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.analysis.hit_probability import FunctionalRandomFillCache
 from repro.cache.context import AccessContext
-from repro.cache.set_associative import SetAssociativeCache
 from repro.cache.tagstore import TagStore
 from repro.core.window import RandomFillWindow
 from repro.secure.region import ProtectedRegion

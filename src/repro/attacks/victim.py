@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.cache.context import AccessContext, DEFAULT_CONTEXT
 from repro.cache.controller import L1Controller

@@ -14,7 +14,7 @@ controller treats the access as a no-fill miss (the PLcache semantics).
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.util.rng import HardwareRng
 

@@ -6,7 +6,7 @@ lines, LRU replacement by default.  Direct-mapped is associativity 1.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
 from repro.cache.context import AccessContext, DEFAULT_CONTEXT
 from repro.cache.replacement import FifoPolicy, LruPolicy, ReplacementPolicy

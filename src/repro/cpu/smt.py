@@ -16,7 +16,7 @@ continuously does both AES decryption and encryption".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.cache.context import AccessContext
 from repro.cache.controller import L1Controller

@@ -25,7 +25,7 @@ behaviour, which is modelled faithfully.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 from repro.cache.context import AccessContext, DEFAULT_CONTEXT
 from repro.cache.controller import DemandFetchPolicy, L1Controller

@@ -19,15 +19,22 @@ its boundary effect (Section V-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.cpu.trace import Trace, TraceRecord
 from repro.crypto.aes import AES128, _bytes_from_words, _words_from_bytes
 from repro.crypto.aes_tables import (
     TABLE_BYTES,
-    TD0, TD1, TD2, TD3, TD4,
-    TE0, TE1, TE2, TE3, TE4,
+    TD0,
+    TD1,
+    TD2,
+    TD3,
+    TE0,
+    TE1,
+    TE2,
+    TE3,
+    TE4,
 )
 from repro.secure.region import ProtectedRegion, RegionSet
 

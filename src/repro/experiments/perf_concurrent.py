@@ -14,19 +14,19 @@ and 32 KB 4-way SA.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cache.context import AccessContext
 from repro.core.window import RandomFillWindow
 from repro.cpu.smt import SmtThread, run_smt
 from repro.crypto.traced_aes import AesMemoryLayout
 from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
-from repro.experiments.perf_crypto import cached_cbc_trace, make_cbc_trace
+from repro.experiments.perf_crypto import cached_cbc_trace
 from repro.experiments.schemes import build_scheme
 from repro.runner.cells import CellSpec
 from repro.runner.pool import run_cells
 from repro.workloads.cache import cached_workload
-from repro.workloads.spec import FIGURE8_ORDER, make_workload
+from repro.workloads.spec import FIGURE8_ORDER
 
 FIGURE8_SCHEMES = ("baseline", "plcache_preload", "random_fill",
                    "newcache", "random_fill_newcache")

@@ -18,7 +18,7 @@ from repro.cpu.timing import SimResult, TimingModel
 from repro.cpu.trace import Trace
 from repro.crypto.traced_aes import AesMemoryLayout, TracedAES128
 from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
-from repro.experiments.schemes import Scheme, build_scheme
+from repro.experiments.schemes import build_scheme
 from repro.runner.cells import CellSpec
 from repro.runner.pool import run_cells
 from repro.workloads.cache import TRACE_CACHE

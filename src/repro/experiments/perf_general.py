@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from itertools import islice
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.profiling import ProfileResult, profile_reference_ratio
+from repro.analysis.profiling import ProfileResult
 from repro.core.window import RandomFillWindow
 from repro.cpu.timing import SimResult, TimingModel
 from repro.cpu.trace import Trace
@@ -26,7 +26,6 @@ from repro.experiments.schemes import build_scheme
 from repro.runner.cells import CellSpec
 from repro.runner.pool import run_cells
 from repro.workloads.cache import cached_workload
-from repro.workloads.spec import FIGURE8_ORDER, make_workload
 
 #: Figure 10's window sweep: [0,0] is demand fetch; [0,b] forward;
 #: [-a,b] bidirectional.

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.hit_probability import (
-    P1P2Result,
     monte_carlo_p1_p2,
     newcache_tag_store_factory,
     sa_tag_store_factory,
@@ -28,7 +27,6 @@ from repro.cache.hierarchy import build_hierarchy
 from repro.core.engine import RandomFillEngine
 from repro.core.policy import RandomFillPolicy
 from repro.core.window import RandomFillWindow
-from repro.crypto.traced_aes import AesMemoryLayout
 from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
 from repro.secure.newcache import Newcache
 from repro.util.rng import HardwareRng, derive_seed

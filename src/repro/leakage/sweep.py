@@ -268,7 +268,18 @@ def run_leakage_cell(spec: LeakageCellSpec) -> LeakageCellResult:
 
 
 def run_leakage_sweep(specs: Sequence[LeakageCellSpec],
-                      jobs: Optional[int] = None) -> List[LeakageCellResult]:
-    """Run a grid of leakage cells through the parallel runner."""
+                      jobs: Optional[int] = None,
+                      telemetry=None,
+                      progress: Optional[bool] = None,
+                      ) -> List[LeakageCellResult]:
+    """Run a grid of leakage cells through the supervised runner.
+
+    ``telemetry`` (a :class:`repro.runner.telemetry.Telemetry` or a
+    JSONL path) and ``progress`` are forwarded to
+    :func:`repro.runner.pool.run_cells`; when ``None`` they inherit the
+    enclosing :func:`repro.runner.pool.run_context`, which is how the
+    ``--telemetry`` CLI flag reaches this sweep.
+    """
     from repro.runner.pool import run_cells
-    return run_cells(specs, jobs=jobs)
+    return run_cells(specs, jobs=jobs, telemetry=telemetry,
+                     progress=progress)

@@ -7,8 +7,14 @@ This package turns a figure sweep into an explicit list of picklable
 
 * :mod:`repro.runner.cells` — the cell vocabulary and the pure
   ``run_cell`` function every worker executes,
-* :mod:`repro.runner.pool` — ``run_cells`` (ordered fan-out over a
-  ``ProcessPoolExecutor``) and the ``REPRO_JOBS`` job-count knob,
+* :mod:`repro.runner.pool` — ``run_cells`` (supervised, ordered
+  fan-out over a ``ProcessPoolExecutor``: per-cell retry with backoff,
+  ``REPRO_CELL_TIMEOUT`` enforcement, crash recovery with pool
+  restarts and inline fallback) plus the ``REPRO_JOBS`` /
+  ``REPRO_CELL_RETRIES`` knobs,
+* :mod:`repro.runner.telemetry` — JSONL event log of a run (cell
+  start/finish/retry/timeout, pool restarts) and the live progress
+  line behind ``--telemetry`` / the CLI,
 * :mod:`repro.runner.result_cache` — the content-addressed per-cell
   result cache that makes re-run sweeps incremental,
 * :mod:`repro.runner.profiler` — ``--profile`` support: run one cell
@@ -24,19 +30,34 @@ cache can key a cell's result on a fingerprint of spec + code versions.
 """
 
 from repro.runner.cells import CellSpec, run_cell
-from repro.runner.pool import last_run_stats, resolve_jobs, run_cells
+from repro.runner.pool import (
+    CellTimeoutError,
+    last_run_stats,
+    resolve_cell_retries,
+    resolve_cell_timeout,
+    resolve_jobs,
+    run_cells,
+    run_context,
+)
 from repro.runner.profiler import profile_cell
 from repro.runner.report import record_bench
 from repro.runner.result_cache import RESULT_CACHE, ResultCache
+from repro.runner.telemetry import Telemetry, read_events
 
 __all__ = [
     "CellSpec",
+    "CellTimeoutError",
     "RESULT_CACHE",
     "ResultCache",
+    "Telemetry",
     "last_run_stats",
     "profile_cell",
+    "read_events",
     "record_bench",
+    "resolve_cell_retries",
+    "resolve_cell_timeout",
     "resolve_jobs",
     "run_cell",
     "run_cells",
+    "run_context",
 ]

@@ -1,4 +1,4 @@
-"""Ordered fan-out of sweep cells over worker processes.
+"""Supervised, fault-tolerant fan-out of sweep cells over workers.
 
 ``run_cells`` is the single entry point every figure sweep funnels
 through.  Results always come back in spec order, so callers regroup
@@ -14,30 +14,69 @@ Job count resolution (first match wins):
 round-trip — which is also what keeps the whole suite usable on
 single-core machines and under debuggers.
 
-Sweeps are **incremental**: before dispatching, the parent process
-consults the content-addressed result cache
+Sweeps are **incremental and resumable**: before dispatching, the
+parent consults the content-addressed result cache
 (:mod:`repro.runner.result_cache`) and only the cells whose fingerprint
-misses are computed; everything else is served from disk.  Workers
-receive only the small spec values — traces travel as trace-cache keys
-(benchmark name / message size / seed inside the spec), never as
-pickled record payloads — and the pending cells are dispatched in
-chunks so each worker amortizes its process and pickle overhead over
-several cells.  Results are bit-identical with the cache on or off and
-for any job count.
+misses are computed; every finished cell is checkpointed back to the
+cache *as it lands*, so an interrupted sweep re-run recomputes only the
+cells that had not finished.  Results are bit-identical with the cache
+on or off and for any job count.
+
+The pool mode is supervised rather than a bare ``Executor.map``:
+
+* each cell gets its own future, dispatched with at most ``jobs`` in
+  flight so a queued cell starts as soon as a worker frees up;
+* a cell whose attempt raises is retried with exponential backoff, up
+  to ``REPRO_CELL_RETRIES`` extra attempts (``retries=`` to override);
+* a cell still running after ``REPRO_CELL_TIMEOUT`` seconds
+  (``timeout=``; unset/0 disables) is killed with its pool, counted,
+  and retried on a fresh pool;
+* a worker death (``BrokenProcessPool`` — segfault, OOM-kill,
+  ``os._exit``) resubmits only the unfinished cells to a fresh pool;
+  after ``_MAX_POOL_RESTARTS`` pool losses the remaining cells degrade
+  to inline execution in the parent, which cannot lose a worker;
+* every transition is reported to :mod:`repro.runner.telemetry` and
+  summarized in :func:`last_run_stats` (retries, timeouts, pool
+  restarts, p50/p95 cell latency).
+
+Timeouts are enforced only in pool mode: inline execution cannot
+preempt a running cell, so ``timeout`` is ignored there (retries still
+apply).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.runner.cells import run_cell
 from repro.runner.result_cache import RESULT_CACHE, ResultCache
+from repro.runner.telemetry import Telemetry, worker_meta
 
 #: statistics of the most recent ``run_cells`` call in this process
 _LAST_RUN: Dict[str, float] = {}
+
+#: pool losses tolerated before degrading to inline execution
+_MAX_POOL_RESTARTS = 3
+
+#: first retry backoff; doubles per subsequent attempt of the same cell
+_RETRY_BACKOFF_S = 0.1
+
+#: default extra attempts per cell when ``REPRO_CELL_RETRIES`` is unset
+_DEFAULT_RETRIES = 2
+
+#: how often the supervisor wakes to check deadlines (pool mode)
+_WAIT_TICK_S = 0.05
+
+
+class CellTimeoutError(TimeoutError):
+    """A cell exceeded its per-attempt timeout on every allowed attempt."""
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -45,7 +84,12 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
         if env:
-            jobs = int(env)
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer worker count, "
+                    f"got {env!r}") from None
         else:
             jobs = os.cpu_count() or 1
     if jobs < 1:
@@ -53,26 +97,334 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def resolve_cell_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Per-attempt cell timeout: argument > ``REPRO_CELL_TIMEOUT`` > none.
+
+    ``None``, an empty variable, or any value <= 0 disables the timeout.
+    """
+    if timeout is None:
+        env = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
+        if not env:
+            return None
+        try:
+            timeout = float(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CELL_TIMEOUT must be a number of seconds, "
+                f"got {env!r}") from None
+    return timeout if timeout > 0 else None
+
+
+def resolve_cell_retries(retries: Optional[int] = None) -> int:
+    """Extra attempts per cell: argument > ``REPRO_CELL_RETRIES`` > 2."""
+    if retries is None:
+        env = os.environ.get("REPRO_CELL_RETRIES", "").strip()
+        if not env:
+            return _DEFAULT_RETRIES
+        try:
+            retries = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CELL_RETRIES must be an integer retry count, "
+                f"got {env!r}") from None
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    return retries
+
+
+def _run_cell_task(spec):
+    """Worker entry point: the cell result plus execution metadata."""
+    started = time.perf_counter()
+    result = run_cell(spec)
+    return result, worker_meta(time.perf_counter() - started)
+
+
+# -- run-wide defaults (CLI surface) -----------------------------------------
+
+_RUN_DEFAULTS: Dict[str, Optional[object]] = {
+    "telemetry": None, "progress": None,
+}
+
+
+@contextmanager
+def run_context(telemetry: Union[Telemetry, str, None] = None,
+                progress: Optional[bool] = None):
+    """Scope default telemetry/progress for nested ``run_cells`` calls.
+
+    The CLI wraps a whole figure sweep in this so ``--telemetry PATH``
+    reaches the ``run_cells`` buried inside the experiment modules
+    without threading a parameter through every signature.
+    """
+    saved = dict(_RUN_DEFAULTS)
+    owned = None
+    if isinstance(telemetry, str):
+        telemetry = owned = Telemetry(path=telemetry, progress=progress)
+    _RUN_DEFAULTS.update(telemetry=telemetry, progress=progress)
+    try:
+        yield telemetry
+    finally:
+        _RUN_DEFAULTS.clear()
+        _RUN_DEFAULTS.update(saved)
+        if owned is not None:
+            owned.close()
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class _Supervisor:
+    """Shared bookkeeping for one ``run_cells`` invocation."""
+
+    def __init__(self, specs: Sequence, retries: int,
+                 timeout: Optional[float], telemetry: Telemetry,
+                 cache: ResultCache, fingerprints: List[Optional[str]],
+                 results: List, total: int):
+        self.specs = specs
+        self.retries = retries
+        self.timeout = timeout
+        self.telemetry = telemetry
+        self.cache = cache
+        self.fingerprints = fingerprints
+        self.results = results
+        self.total = total
+        self.done = 0
+        self.attempts: Dict[int, int] = {}
+        self.latencies: List[float] = []
+        self.counters = dict(retries=0, timeouts=0, pool_restarts=0,
+                             inline_fallback=0)
+
+    def note_cached(self, index: int) -> None:
+        self.done += 1
+        self.telemetry.emit("cell_cached", index=index)
+        self.telemetry.progress(self.done, self.total, "cached")
+
+    def on_result(self, index: int, result, meta: dict) -> None:
+        """Record one finished cell and checkpoint it immediately."""
+        self.results[index] = result
+        if self.fingerprints[index] is not None:
+            self.cache.store(self.fingerprints[index], result)
+        self.latencies.append(meta.get("wall_s", 0.0))
+        self.done += 1
+        self.telemetry.emit("cell_finish", index=index,
+                            attempt=self.attempts.get(index, 0), **meta)
+        self.telemetry.progress(self.done, self.total,
+                                f"last cell {meta.get('wall_s', 0):.2f}s")
+
+    def on_failure(self, index: int, error: BaseException) -> bool:
+        """Count one failed attempt; True if the cell may be retried."""
+        attempt = self.attempts.get(index, 0) + 1
+        self.attempts[index] = attempt
+        if attempt > self.retries:
+            return False
+        self.counters["retries"] += 1
+        self.telemetry.emit("cell_retry", index=index, attempt=attempt,
+                            error=repr(error))
+        return True
+
+    def on_timeout(self, index: int) -> bool:
+        """Count one timed-out attempt; True if the cell may be retried."""
+        attempt = self.attempts.get(index, 0) + 1
+        self.attempts[index] = attempt
+        self.counters["timeouts"] += 1
+        self.telemetry.emit("cell_timeout", index=index, attempt=attempt,
+                            timeout_s=self.timeout)
+        if attempt > self.retries:
+            return False
+        self.counters["retries"] += 1
+        return True
+
+    def backoff(self, index: int) -> None:
+        time.sleep(_RETRY_BACKOFF_S * (2 ** (self.attempts[index] - 1)))
+
+
+def _run_inline(sup: _Supervisor, pending: Sequence[int]) -> None:
+    """Sequential execution with retry (timeouts cannot be enforced)."""
+    for i in pending:
+        while True:
+            sup.telemetry.emit("cell_start", index=i,
+                               attempt=sup.attempts.get(i, 0))
+            try:
+                result, meta = _run_cell_task(sup.specs[i])
+            except Exception as error:
+                if not sup.on_failure(i, error):
+                    raise
+                sup.backoff(i)
+                continue
+            sup.on_result(i, result, meta)
+            break
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers without waiting on running cells.
+
+    ``Executor.shutdown`` alone would block behind a hung or dead
+    worker, so the workers are SIGTERMed first; the final ``wait=True``
+    then only joins the management thread, which exits promptly once it
+    notices its processes are gone (leaving no half-dead executor for
+    the interpreter's atexit hook to trip over).
+    """
+    try:
+        processes = list(pool._processes.values())
+    except AttributeError:                     # implementation detail moved
+        processes = []
+    for process in processes:
+        try:
+            process.terminate()
+        except OSError:
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _run_supervised(sup: _Supervisor, pending: Sequence[int],
+                    jobs: int) -> int:
+    """Pool execution with retry, timeout and crash recovery.
+
+    Returns the number of workers actually used.  Falls back to
+    :func:`_run_inline` for whatever is left after the restart budget
+    is exhausted.
+    """
+    queue = deque(pending)
+    jobs_used = 1
+    restarts = 0
+    while queue:
+        if restarts > _MAX_POOL_RESTARTS:
+            sup.counters["inline_fallback"] = 1
+            sup.telemetry.emit("inline_fallback", pending=len(queue),
+                               restarts=restarts)
+            _run_inline(sup, list(queue))
+            return jobs_used
+        workers = min(jobs, len(queue))
+        jobs_used = max(jobs_used, workers)
+        restart_reason = None
+        in_flight: Dict = {}                   # future -> (index, submit time)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        graceful = False
+        try:
+            while queue or in_flight:
+                while queue and len(in_flight) < workers:
+                    i = queue.popleft()
+                    sup.telemetry.emit("cell_start", index=i,
+                                       attempt=sup.attempts.get(i, 0))
+                    future = pool.submit(_run_cell_task, sup.specs[i])
+                    in_flight[future] = (i, time.monotonic())
+                tick = _WAIT_TICK_S if sup.timeout is not None else None
+                finished, _ = wait(set(in_flight), timeout=tick,
+                                   return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i, _submitted = in_flight.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        result, meta = future.result()
+                        sup.on_result(i, result, meta)
+                    elif isinstance(error, BrokenProcessPool):
+                        in_flight[future] = (i, _submitted)
+                        raise error
+                    else:
+                        if not sup.on_failure(i, error):
+                            raise error
+                        sup.backoff(i)
+                        queue.append(i)
+                if sup.timeout is not None and in_flight:
+                    now = time.monotonic()
+                    expired = [i for future, (i, t0) in in_flight.items()
+                               if now - t0 > sup.timeout
+                               and not future.done()]
+                    if expired:
+                        for i in expired:
+                            if not sup.on_timeout(i):
+                                raise CellTimeoutError(
+                                    f"cell {i} exceeded its "
+                                    f"{sup.timeout}s timeout on every "
+                                    f"allowed attempt "
+                                    f"(REPRO_CELL_TIMEOUT / "
+                                    f"REPRO_CELL_RETRIES)")
+                        restart_reason = "timeout"
+                        break
+            graceful = restart_reason is None
+        except BrokenProcessPool:
+            restart_reason = "broken_pool"
+            # One of the in-flight cells likely killed the worker, but
+            # the executor cannot say which: charge them all an attempt
+            # so a deterministic killer cell cannot restart the pool
+            # forever (the restart budget below is the hard stop).
+            for future, (i, _t0) in in_flight.items():
+                if not (future.done() and not future.cancelled()
+                        and future.exception() is None):
+                    sup.attempts[i] = sup.attempts.get(i, 0) + 1
+        finally:
+            if graceful:
+                pool.shutdown(wait=True, cancel_futures=True)
+            else:
+                # Timed-out / crashed / fatally-failed run: never wait
+                # on a hung or dead worker.
+                _kill_pool(pool)
+        if restart_reason is not None:
+            # Salvage futures that completed before the loss, requeue
+            # everything still unfinished on a fresh pool.
+            for future, (i, _t0) in in_flight.items():
+                if future.done() and not future.cancelled() \
+                        and future.exception() is None:
+                    result, meta = future.result()
+                    sup.on_result(i, result, meta)
+                else:
+                    queue.appendleft(i)
+            restarts += 1
+            sup.counters["pool_restarts"] = restarts
+            sup.telemetry.emit("pool_restart", reason=restart_reason,
+                               restarts=restarts, pending=len(queue))
+    return jobs_used
+
+
 def run_cells(specs: Sequence, jobs: Optional[int] = None,
               chunksize: Optional[int] = None,
-              result_cache: Optional[ResultCache] = None) -> List:
+              result_cache: Optional[ResultCache] = None,
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None,
+              telemetry: Union[Telemetry, str, None] = None,
+              progress: Optional[bool] = None) -> List:
     """Run every cell; returns results in the order of ``specs``.
 
     Accepts :class:`CellSpec` instances or any other picklable spec
     :func:`run_cell` understands (specs with a ``run()`` method).
 
-    ``jobs`` follows :func:`resolve_jobs`; ``chunksize`` (pool mode
-    only) defaults to ``pending // (jobs * 4)`` so each worker gets
-    several batches, balancing stragglers against pickle overhead.
+    ``jobs`` follows :func:`resolve_jobs`; ``timeout`` and ``retries``
+    follow :func:`resolve_cell_timeout` / :func:`resolve_cell_retries`
+    (``REPRO_CELL_TIMEOUT`` / ``REPRO_CELL_RETRIES``).  ``chunksize``
+    is accepted for backwards compatibility and ignored: supervision is
+    per-cell, and specs are small values whose pickle cost is noise.
 
     ``result_cache`` defaults to the process-wide
     :data:`~repro.runner.result_cache.RESULT_CACHE`; cells whose
-    fingerprint is already stored are not recomputed.  Only specs that
-    expose ``result_cache_token()`` participate — others always run.
+    fingerprint is already stored are not recomputed, and every newly
+    finished cell is checkpointed back immediately.  Only specs that
+    expose ``result_cache_token()`` participate — others always run and
+    are counted as ``result_cache_uncacheable`` in
+    :func:`last_run_stats`.
+
+    ``telemetry`` is a :class:`~repro.runner.telemetry.Telemetry`, a
+    JSONL path, or ``None`` (inherit the :func:`run_context` default);
+    ``progress`` forces the live progress line on/off.
     """
+    del chunksize                        # legacy knob; supervision is per-cell
     jobs = resolve_jobs(jobs)
+    timeout = resolve_cell_timeout(timeout)
+    retries = resolve_cell_retries(retries)
     started = time.perf_counter()
     cache = RESULT_CACHE if result_cache is None else result_cache
+
+    if telemetry is None:
+        telemetry = _RUN_DEFAULTS["telemetry"]
+    if progress is None:
+        progress = _RUN_DEFAULTS["progress"]
+    owned = None
+    if isinstance(telemetry, str):
+        telemetry = owned = Telemetry(path=telemetry, progress=progress)
+    elif telemetry is None:
+        telemetry = owned = Telemetry(path=None, progress=bool(progress))
 
     total = len(specs)
     results: List = [None] * total
@@ -80,44 +432,68 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
     pending: List[int] = []
     cache_hits = 0
     cache_misses = 0
-    if cache.enabled:
+    uncacheable = 0
+    sup = _Supervisor(specs, retries, timeout, telemetry, cache,
+                      fingerprints, results, total)
+    try:
+        cached_indices: List[int] = []
         for i, spec in enumerate(specs):
-            fingerprint = cache.fingerprint(spec)
+            fingerprint = cache.fingerprint(spec) if cache.enabled else None
+            if fingerprint is None:
+                if not hasattr(spec, "result_cache_token"):
+                    uncacheable += 1
+                pending.append(i)
+                continue
             fingerprints[i] = fingerprint
-            if fingerprint is not None:
-                cached = cache.load(fingerprint)
-                if cached is not None:
-                    results[i] = cached
-                    cache_hits += 1
-                    continue
-                cache_misses += 1
+            cached = cache.load(fingerprint)
+            if cached is not None:
+                results[i] = cached
+                cache_hits += 1
+                cached_indices.append(i)
+                continue
+            cache_misses += 1
             pending.append(i)
-    else:
-        pending = list(range(total))
 
-    jobs_used = 1
-    if pending:
-        pending_specs = [specs[i] for i in pending]
-        if jobs == 1 or len(pending_specs) <= 1:
-            computed = [run_cell(spec) for spec in pending_specs]
+        telemetry.emit(
+            "run_start", cells=total, pending=len(pending),
+            cached=cache_hits, jobs=jobs, timeout_s=timeout,
+            retries=retries,
+            python=".".join(map(str, sys.version_info[:3])),
+            pid=os.getpid())
+        for i in cached_indices:
+            sup.note_cached(i)
+
+        jobs_used = 1
+        if pending:
+            # A single pending cell still goes through the pool when a
+            # timeout is requested: inline execution cannot preempt it.
+            inline = jobs == 1 or (len(pending) == 1 and timeout is None)
+            if inline:
+                _run_inline(sup, pending)
+            else:
+                jobs_used = _run_supervised(sup, pending, jobs)
+
+        elapsed = time.perf_counter() - started
+        ordered = sorted(sup.latencies)
+        _LAST_RUN.clear()
+        _LAST_RUN.update(
+            cells=total, jobs=jobs_used, seconds=elapsed,
+            cells_per_sec=(total / elapsed) if elapsed > 0 else 0.0,
+            result_cache_hits=cache_hits,
+            result_cache_misses=cache_misses,
+            result_cache_uncacheable=uncacheable,
+            retries=sup.counters["retries"],
+            timeouts=sup.counters["timeouts"],
+            pool_restarts=sup.counters["pool_restarts"],
+            inline_fallback=sup.counters["inline_fallback"],
+            latency_p50_s=_percentile(ordered, 0.50) if ordered else 0.0,
+            latency_p95_s=_percentile(ordered, 0.95) if ordered else 0.0)
+        telemetry.emit("run_finish", **_LAST_RUN)
+    finally:
+        if owned is not None:
+            owned.close()
         else:
-            jobs_used = min(jobs, len(pending_specs))
-            if chunksize is None:
-                chunksize = max(1, len(pending_specs) // (jobs_used * 4))
-            with ProcessPoolExecutor(max_workers=jobs_used) as pool:
-                computed = list(pool.map(run_cell, pending_specs,
-                                         chunksize=chunksize))
-        for i, result in zip(pending, computed):
-            results[i] = result
-            if fingerprints[i] is not None:
-                cache.store(fingerprints[i], result)
-
-    elapsed = time.perf_counter() - started
-    _LAST_RUN.clear()
-    _LAST_RUN.update(
-        cells=total, jobs=jobs_used, seconds=elapsed,
-        cells_per_sec=(total / elapsed) if elapsed > 0 else 0.0,
-        result_cache_hits=cache_hits, result_cache_misses=cache_misses)
+            telemetry.finish_progress()
     return results
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+from typing import Dict
 
 #: default report file, at the repository root when run from there
 DEFAULT_REPORT_PATH = "BENCH_runner.json"

@@ -1,0 +1,163 @@
+"""Structured telemetry for sweep runs: JSONL events + progress line.
+
+Every supervised ``run_cells`` call can stream its lifecycle into a
+JSONL event log (one JSON object per line) so a sweep leaves an
+auditable record instead of a single summary dict.  The event
+vocabulary:
+
+* ``run_start``    — header: cell counts, job count, timeout/retry
+  policy, python version, parent pid;
+* ``cell_cached``  — a cell served from the content-addressed result
+  cache (checkpoint hit) without running;
+* ``cell_start``   — a cell dispatched to a worker (or inline), with
+  its attempt number;
+* ``cell_finish``  — a cell completed: wall seconds, worker pid,
+  worker max-RSS in KB;
+* ``cell_retry``   — an attempt raised and the cell was requeued;
+* ``cell_timeout`` — an attempt exceeded ``REPRO_CELL_TIMEOUT``;
+* ``pool_restart`` — the worker pool died (or was killed to enforce a
+  timeout) and the unfinished cells moved to a fresh pool;
+* ``inline_fallback`` — the restart budget ran out and the remaining
+  cells degraded to inline execution in the parent;
+* ``run_finish``   — the final ``last_run_stats`` payload.
+
+The CLI surfaces this as ``--telemetry PATH`` on the ``sweep`` and
+``leakage`` subcommands; CI uploads the leakage smoke log as an
+artifact.  A :class:`Telemetry` with no path and no progress stream is
+a near-free no-op, so library callers pay nothing by default.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import IO, List, Optional
+
+try:
+    import resource
+except ImportError:  # non-POSIX platform
+    resource = None
+
+
+def rss_kb() -> Optional[int]:
+    """Max resident set size of this process in KB (None if unknown)."""
+    if resource is None:
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return int(usage.ru_maxrss)  # KB on Linux
+
+
+def worker_meta(wall_s: float) -> dict:
+    """Per-attempt execution metadata recorded by the worker itself."""
+    return {"wall_s": round(wall_s, 6), "worker": os.getpid(), "rss_kb": rss_kb()}
+
+
+class Telemetry:
+    """JSONL event sink plus an optional live progress line.
+
+    ``path`` is the JSONL file to append to (``None`` disables event
+    logging); ``progress`` turns the carriage-return progress line on
+    ``stream`` (default ``sys.stderr``) on or off, with ``None``
+    meaning "on when the stream is a tty".
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        progress: Optional[bool] = None,
+        stream: Optional[IO[str]] = None,
+    ):
+        self.path = path
+        self.stream = stream if stream is not None else sys.stderr
+        if progress is None:
+            isatty = getattr(self.stream, "isatty", lambda: False)
+            try:
+                progress = bool(isatty())
+            except (OSError, ValueError):
+                progress = False
+        self.show_progress = progress
+        self.events_written = 0
+        self._fh: Optional[IO[str]] = None
+        self._progress_len = 0
+
+    # -- events --------------------------------------------------------------
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event line; never raises (telemetry is advisory)."""
+        if self.path is None:
+            return
+        record = {"event": event, "t": round(time.time(), 6), **fields}
+        try:
+            if self._fh is None:
+                directory = os.path.dirname(os.path.abspath(self.path))
+                os.makedirs(directory, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            json.dump(record, self._fh, sort_keys=True, default=repr)
+            self._fh.write("\n")
+            self._fh.flush()
+            self.events_written += 1
+        except OSError:
+            pass
+
+    # -- progress ------------------------------------------------------------
+
+    def progress(self, done: int, total: int, note: str = "") -> None:
+        """Redraw the live ``[done/total]`` line (no-op when disabled)."""
+        if not self.show_progress or total <= 0:
+            return
+        line = f"[{done}/{total}] {note}".rstrip()
+        pad = " " * max(0, self._progress_len - len(line))
+        try:
+            self.stream.write(f"\r{line}{pad}")
+            self.stream.flush()
+        except (OSError, ValueError):
+            self.show_progress = False
+            return
+        self._progress_len = len(line)
+
+    def finish_progress(self) -> None:
+        """Terminate the progress line with a newline, if one is active."""
+        if self.show_progress and self._progress_len:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+            self._progress_len = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self.finish_progress()
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: str) -> List[dict]:
+    """Parse a telemetry JSONL file (skips partial/corrupt lines)."""
+    events: List[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except ValueError:
+                    continue
+    except OSError:
+        return []
+    return events

@@ -15,12 +15,10 @@ context switches.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable
 
 from repro.cache.context import AccessContext
 from repro.cache.controller import L1Controller
 from repro.cache.set_associative import SetAssociativeCache
-from repro.secure.region import ProtectedRegion, RegionSet
 
 
 class PLCache(SetAssociativeCache):

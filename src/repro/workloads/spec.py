@@ -19,12 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.cpu.trace import Trace
-from repro.workloads.synthetic import (
-    locality_mixture,
-    pointer_chase,
-    streaming,
-    strided,
-)
+from repro.workloads.synthetic import locality_mixture, streaming, strided
 
 #: base address for workload data, clear of the AES layout regions
 WORKLOAD_BASE = 0x100_0000

@@ -1,6 +1,5 @@
 """Tests for the storage-channel capacity analysis (Section V-B)."""
 
-import math
 
 import pytest
 

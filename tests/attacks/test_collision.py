@@ -15,7 +15,6 @@ from repro.attacks.collision import (
     FirstRoundCollisionAttack,
     _TimingAccumulator,
 )
-from repro.crypto.aes import AES128
 
 KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
 

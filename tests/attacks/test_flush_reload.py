@@ -1,6 +1,5 @@
 """Tests for the Flush-Reload attack (reuse based, storage channel)."""
 
-import math
 
 from repro.analysis.channel_capacity import channel_capacity_bits
 from repro.attacks.flush_reload import run_flush_reload_trials

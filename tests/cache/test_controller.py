@@ -1,14 +1,6 @@
 """Tests for the L1 controller with pluggable fill strategies."""
 
-import pytest
-
-from repro.cache.context import AccessContext, DEFAULT_CONTEXT
-from repro.cache.controller import (
-    DemandFetchPolicy,
-    FillPolicy,
-    L1Controller,
-    MissPlan,
-)
+from repro.cache.controller import FillPolicy, MissPlan
 from repro.cache.hierarchy import build_hierarchy
 from repro.cache.mshr import RequestType
 
@@ -94,7 +86,7 @@ class TestNofill:
     def test_nofill_upgraded_by_fill_request_for_same_line(self):
         l1 = make_l1()
         l1.policy = StubNofillPolicy(extra=0)  # fill targets the demand line
-        r = l1.access(0, now=0)
+        l1.access(0, now=0)
         l1.settle()
         assert l1.tag_store.probe(0)  # upgraded entry installed the line
 

@@ -1,7 +1,6 @@
 """Tests for hierarchy assembly."""
 
 from repro.cache.hierarchy import build_hierarchy
-from repro.cache.set_associative import SetAssociativeCache
 from repro.secure.newcache import Newcache
 
 

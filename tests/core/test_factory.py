@@ -10,7 +10,7 @@ class TestFactory:
     def test_defaults_demand_fetch(self):
         system = build_random_fill_hierarchy(seed=1)
         assert system.engine.window_for(0).disabled
-        r = system.l1.access(0, now=0)
+        system.l1.access(0, now=0)
         system.l1.settle()
         assert system.l1.tag_store.probe(0)  # demand fill happened
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.window import (
-    REGISTER_WIDTH,
     RandomFillWindow,
     decode_range_registers,
     encode_range_registers,

@@ -53,7 +53,6 @@ class TestTracedEncryption:
 
     def test_final_round_uses_te4(self):
         traced = TracedAES128(KEY)
-        layout = traced.layout
         sink = []
         traced.encrypt_block_traced(
             bytes(16), lookup_sink=lambda t, i: sink.append(t))

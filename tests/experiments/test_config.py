@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.experiments.config import (
-    BASELINE_CONFIG,
-    SimulatorConfig,
-    bench_scale,
-    scaled,
-)
+from repro.experiments.config import BASELINE_CONFIG, bench_scale, scaled
 
 
 class TestTableIV:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.window import RandomFillWindow
 from repro.experiments.config import BASELINE_CONFIG
 from repro.experiments.perf_concurrent import figure8, run_concurrent
 from repro.experiments.perf_crypto import (

@@ -1,6 +1,5 @@
 """End-to-end integration tests: the paper's claims in miniature."""
 
-import pytest
 
 from repro.analysis.hit_probability import (
     monte_carlo_p1_p2,

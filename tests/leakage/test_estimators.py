@@ -1,6 +1,5 @@
 """Estimator tests against channels with known information content."""
 
-import math
 import random
 
 import pytest

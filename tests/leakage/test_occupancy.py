@@ -5,7 +5,6 @@ mapping randomization does not degrade an address-free channel, random
 fill adds collision noise, and preload+lock closes it entirely.
 """
 
-import math
 
 import pytest
 

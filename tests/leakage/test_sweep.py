@@ -19,7 +19,6 @@ from repro.leakage.sweep import (
     LeakageCellSpec,
     leakage_grid,
     run_leakage_cell,
-    run_leakage_sweep,
 )
 from repro.runner.pool import run_cells
 

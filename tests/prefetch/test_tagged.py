@@ -16,7 +16,7 @@ def make_l1():
 class TestTaggedPrefetch:
     def test_miss_prefetches_next_line(self):
         l1, policy = make_l1()
-        r = l1.access(0, now=0)
+        l1.access(0, now=0)
         l1.settle()
         assert l1.tag_store.probe(0)   # demand fill
         assert l1.tag_store.probe(1)   # prefetched next line

@@ -5,7 +5,13 @@ import os
 import pytest
 
 from repro.runner.cells import CELL_KINDS, CellSpec, run_cell
-from repro.runner.pool import last_run_stats, resolve_jobs, run_cells
+from repro.runner.pool import (
+    last_run_stats,
+    resolve_jobs,
+    run_cells,
+    run_context,
+)
+from repro.runner.telemetry import read_events
 
 
 class TestResolveJobs:
@@ -27,6 +33,11 @@ class TestResolveJobs:
             resolve_jobs(0)
         with pytest.raises(ValueError):
             resolve_jobs(-2)
+
+    def test_rejects_non_integer_env_naming_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        with pytest.raises(ValueError, match="REPRO_JOBS.*'auto'"):
+            resolve_jobs()
 
 
 class TestCellSpec:
@@ -66,3 +77,21 @@ class TestRunCells:
         assert stats["jobs"] == 1
         assert stats["seconds"] > 0
         assert stats["cells_per_sec"] > 0
+        # Supervision counters are always present, zero on a clean run.
+        assert stats["retries"] == 0
+        assert stats["timeouts"] == 0
+        assert stats["pool_restarts"] == 0
+        assert stats["inline_fallback"] == 0
+        assert stats["latency_p95_s"] >= stats["latency_p50_s"] >= 0
+
+    def test_run_context_scopes_default_telemetry(self, tmp_path):
+        path = str(tmp_path / "ctx.jsonl")
+        specs = _specs()
+        with run_context(telemetry=path):
+            run_cells(specs, jobs=1)
+        events = read_events(path)
+        assert events[0]["event"] == "run_start"
+        assert events[-1]["event"] == "run_finish"
+        # Outside the context the default is gone: no new events.
+        run_cells(specs, jobs=1)
+        assert len(read_events(path)) == len(events)

@@ -1,0 +1,141 @@
+"""Tests for the JSONL telemetry log and the live progress line."""
+
+import io
+import json
+
+from repro.runner.pool import last_run_stats, run_cells
+from repro.runner.result_cache import ResultCache
+from repro.runner.telemetry import Telemetry, read_events, rss_kb
+
+
+class TokenSpec:
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return f"TokenSpec({self.value})"
+
+    def result_cache_token(self):
+        return "telemetry-test"
+
+    def run(self):
+        return self.value + 100
+
+
+class TestTelemetrySink:
+    def test_no_path_is_a_noop(self, tmp_path):
+        telemetry = Telemetry(path=None, progress=False)
+        telemetry.emit("run_start", cells=1)
+        telemetry.close()
+        assert telemetry.events_written == 0
+
+    def test_events_are_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Telemetry(path=path, progress=False) as telemetry:
+            telemetry.emit("run_start", cells=2)
+            telemetry.emit("cell_finish", index=0, wall_s=0.5)
+        with open(path, encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh]
+        assert [line["event"] for line in lines] == ["run_start",
+                                                     "cell_finish"]
+        assert all("t" in line for line in lines)
+
+    def test_appends_across_instances(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Telemetry(path=path, progress=False) as telemetry:
+            telemetry.emit("run_start")
+        with Telemetry(path=path, progress=False) as telemetry:
+            telemetry.emit("run_start")
+        assert len(read_events(path)) == 2
+
+    def test_unserializable_fields_fall_back_to_repr(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Telemetry(path=path, progress=False) as telemetry:
+            telemetry.emit("cell_retry", error=ValueError("boom"))
+        events = read_events(path)
+        assert "boom" in events[0]["error"]
+
+    def test_read_events_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "run_start"}\nnot json\n'
+                        '{"event": "run_finish"}\n')
+        events = read_events(str(path))
+        assert [e["event"] for e in events] == ["run_start", "run_finish"]
+
+    def test_read_events_missing_file(self, tmp_path):
+        assert read_events(str(tmp_path / "absent.jsonl")) == []
+
+    def test_rss_is_positive_on_posix(self):
+        value = rss_kb()
+        assert value is None or value > 0
+
+
+class TestProgressLine:
+    def test_progress_redraws_with_carriage_return(self):
+        stream = io.StringIO()
+        telemetry = Telemetry(progress=True, stream=stream)
+        telemetry.progress(1, 3)
+        telemetry.progress(2, 3, "last cell 0.10s")
+        telemetry.finish_progress()
+        output = stream.getvalue()
+        assert "\r[1/3]" in output
+        assert "[2/3] last cell 0.10s" in output
+        assert output.endswith("\n")
+
+    def test_progress_defaults_off_for_non_tty(self):
+        telemetry = Telemetry(stream=io.StringIO())
+        assert not telemetry.show_progress
+
+    def test_shorter_redraw_pads_out_leftovers(self):
+        stream = io.StringIO()
+        telemetry = Telemetry(progress=True, stream=stream)
+        telemetry.progress(1, 10, "a very long note indeed")
+        telemetry.progress(2, 10)
+        last = stream.getvalue().rsplit("\r", 1)[-1]
+        assert last.startswith("[2/10]")
+        assert len(last.rstrip()) < len(last)   # padding erased the tail
+
+
+class TestRunCellsTelemetry:
+    def test_full_run_event_stream(self, tmp_path):
+        cache = ResultCache(disk_dir=str(tmp_path / "results"))
+        path = str(tmp_path / "run.jsonl")
+        specs = [TokenSpec(1), TokenSpec(2)]
+        run_cells(specs, jobs=1, result_cache=cache, telemetry=path)
+        events = read_events(path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_finish"
+        assert kinds.count("cell_start") == 2
+        finishes = [e for e in events if e["event"] == "cell_finish"]
+        assert len(finishes) == 2
+        for event in finishes:
+            assert event["wall_s"] >= 0
+            assert event["worker"] > 0
+            assert event["rss_kb"] is None or event["rss_kb"] > 0
+        header = events[0]
+        assert header["cells"] == 2 and header["pending"] == 2
+
+        # A warm re-run reports every cell as a checkpoint hit.
+        run_cells(specs, jobs=1, result_cache=cache, telemetry=path)
+        events = read_events(path)
+        cached = [e for e in events if e["event"] == "cell_cached"]
+        assert len(cached) == 2
+        assert events[-1]["result_cache_hits"] == 2
+
+    def test_telemetry_instance_is_not_closed(self, tmp_path):
+        cache = ResultCache(disk_dir=None, use_default_disk_dir=False)
+        telemetry = Telemetry(path=str(tmp_path / "t.jsonl"), progress=False)
+        run_cells([TokenSpec(1)], jobs=1, result_cache=cache,
+                  telemetry=telemetry)
+        telemetry.emit("after")            # still usable
+        telemetry.close()
+        assert read_events(telemetry.path)[-1]["event"] == "after"
+
+    def test_stats_report_latency_percentiles(self, tmp_path):
+        cache = ResultCache(disk_dir=None, use_default_disk_dir=False)
+        run_cells([TokenSpec(i) for i in range(5)], jobs=1,
+                  result_cache=cache)
+        stats = last_run_stats()
+        assert 0 <= stats["latency_p50_s"] <= stats["latency_p95_s"]
+        assert stats["result_cache_uncacheable"] == 0

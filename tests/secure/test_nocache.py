@@ -1,7 +1,6 @@
 """Tests for the disable-cache policy."""
 
 from repro.cache.context import AccessContext
-from repro.cache.controller import MissPlan
 from repro.cache.hierarchy import build_hierarchy
 from repro.cache.mshr import RequestType
 from repro.secure.nocache import DisableCachePolicy

@@ -1,6 +1,5 @@
 """Tests for statistics helpers."""
 
-import math
 
 import pytest
 

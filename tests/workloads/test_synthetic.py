@@ -30,7 +30,8 @@ class TestStreaming:
                           stride_lines_max=4, dense_prob=1.0, seed=3)
         sparse = streaming(4000, BASE, 100000, refs_per_line=1,
                            stride_lines_max=4, dense_prob=0.0, seed=3)
-        span = lambda t: (t[-1][0] - t[0][0]) // 64
+        def span(t):
+            return (t[-1][0] - t[0][0]) // 64
         assert span(sparse) > span(dense)
 
     def test_write_ratio(self):
