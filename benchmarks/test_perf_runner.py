@@ -32,12 +32,15 @@ Timings land in ``BENCH_runner.json`` at the repository root alongside
 the per-sweep entries the ``python -m repro sweep`` CLI records.
 """
 
+import os
 import shutil
 import tempfile
 import time
 from pathlib import Path
 
 from _reporting import save_report
+
+from repro import check as check_mod
 
 from repro.experiments.perf_general import figure10
 from repro.runner import CellSpec, record_bench, resolve_jobs, run_cell
@@ -116,12 +119,42 @@ def run():
     cache_match = (_points_key(sequential) == _points_key(filled)
                    == _points_key(warm))
 
+    # Checked-mode accounting, after every gated timing above so the
+    # slow differential runs cannot perturb them.  Off-mode overhead is
+    # exactly one ``active_checker()`` lookup per ``TimingModel.run``
+    # dispatch, so measure that lookup directly and scale it by a
+    # generous per-cell dispatch allowance — a differential
+    # cell-vs-cell timing would drown the nanoseconds in scheduler
+    # noise.
+    lookups = 50_000
+
+    def _hook_calls():
+        lookup = check_mod.active_checker
+        for _ in range(lookups):
+            lookup()
+
+    hook_s = min(_timed(_hook_calls) for _ in range(3))
+    hook_frac = (hook_s / lookups) * 50 / single_s
+
+    unchecked_result = run_cell(spec)
+    os.environ[check_mod.ENV_VAR] = "1"
+    try:
+        checked_result = run_cell(spec)
+        checked_s = min(_timed(lambda: run_cell(spec)) for _ in range(2))
+    finally:
+        del os.environ[check_mod.ENV_VAR]
+    checked_matches = checked_result == unchecked_result
+
     payload = {
         "single_cell_s": round(single_s, 4),
         "single_cell_seed_s": SEED_SINGLE_CELL_S,
         "single_cell_base_s": BASE_SINGLE_CELL_S,
         "single_cell_speedup_vs_seed": round(SEED_SINGLE_CELL_S / single_s, 2),
         "single_cell_speedup_vs_base": round(BASE_SINGLE_CELL_S / single_s, 2),
+        "single_cell_checked_s": round(checked_s, 4),
+        "check_overhead_on_x": round(checked_s / single_s, 2),
+        "check_hook_off_frac": round(hook_frac, 5),
+        "checked_matches_unchecked": checked_matches,
         "fig10_20k_sweep_s": round(cold_s, 4),
         "fig10_20k_seed_s": SEED_FIG10_20K_S,
         "fig10_20k_base_s": BASE_FIG10_20K_S,
@@ -168,6 +201,14 @@ def test_runner_speedups(benchmark):
     # A healthy benchmark run must never trip the supervisor.
     assert payload["supervision_retries"] == 0
     assert payload["supervision_pool_restarts"] == 0
+
+    # Checked simulation mode: with REPRO_CHECK unset the dispatch hook
+    # must cost under 2% of a cell, and with it set the differential
+    # oracle must reproduce the unchecked result bit-for-bit (its
+    # slowdown is recorded as check_overhead_on_x, not gated: it is a
+    # debugging mode).
+    assert payload["check_hook_off_frac"] <= 0.02
+    assert payload["checked_matches_unchecked"]
 
     rows = [(name, str(payload[name])) for name in sorted(payload)]
     save_report("runner_smoke",

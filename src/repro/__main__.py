@@ -18,9 +18,17 @@ mutual information, guessing entropy and success-rate curves for the
 Equation (7) reference channel, Flush-Reload and the cache-occupancy
 channel, per scheme x window x seed — validates it against the
 Section V-B closed forms, and writes ``BENCH_leakage.json``.
+
+``--check[=RATE]`` on both sweeps turns on checked simulation mode
+(:mod:`repro.check`): every cell runs under the invariant sanitizer
+and the differential oracle, sampled every RATE accesses (default
+1024).  The flag exports ``REPRO_CHECK`` so worker processes inherit
+it; on ``leakage`` it additionally keeps its original meaning of
+exiting non-zero when a validation check fails.
 """
 
 import argparse
+import os
 import sys
 
 from repro import __version__
@@ -114,6 +122,40 @@ def _resolve_jobs_or_exit(jobs):
         sys.exit(f"error: {error}")
 
 
+def _apply_check_mode(value) -> None:
+    """Export a ``--check[=RATE]`` request as ``REPRO_CHECK``.
+
+    Setting the environment variable (rather than threading a flag)
+    means worker processes inherit checked mode for free.  A malformed
+    value is a usage error, not a traceback — and never silently off.
+    """
+    if value is None:
+        return
+    from repro.check import DEFAULT_RATE, ENV_VAR, parse_check_value
+
+    try:
+        rate = parse_check_value(value)
+    except ValueError as error:
+        sys.exit(f"error: --check: {error}")
+    if rate is None:
+        return
+    os.environ[ENV_VAR] = value
+    suffix = "" if rate == DEFAULT_RATE else f" (every {rate} accesses)"
+    print(f"checked mode on: invariant sanitizer + differential "
+          f"oracle{suffix}")
+
+
+def _validate_cache_env() -> None:
+    """Fail fast on a malformed ``REPRO_CACHE_MAX_MB`` before any cell
+    runs (the workers would each hit the same error mid-sweep)."""
+    from repro.util.diskcache import max_cache_bytes
+
+    try:
+        max_cache_bytes()
+    except ValueError as error:
+        sys.exit(f"error: {error}")
+
+
 def _check_resume(resume: bool) -> None:
     """``--resume`` relies on the result-cache checkpoints; refuse to
     pretend when the cache is disabled."""
@@ -142,6 +184,9 @@ def _print_run_stats(stats: dict, jobs: int, resume: bool = False) -> None:
         print("supervision: " + ", ".join(
             f"{name}={value:.0f}" for name, value in supervision.items()
             if value))
+    if stats.get("checks_run", 0) or stats.get("violations", 0):
+        print(f"checked mode: {stats.get('checks_run', 0):.0f} validations, "
+              f"{stats.get('violations', 0):.0f} violations")
 
 
 def sweep(args: argparse.Namespace) -> None:
@@ -155,6 +200,8 @@ def sweep(args: argparse.Namespace) -> None:
     from repro.runner.pool import last_run_stats, run_context
     from repro.runner.report import record_bench
 
+    _apply_check_mode(args.check)
+    _validate_cache_env()
     if args.profile:
         _run_profile(_sweep_profile_spec(args))
         return
@@ -216,6 +263,8 @@ def leakage(args: argparse.Namespace) -> None:
     from repro.leakage.sweep import leakage_grid, run_leakage_sweep
     from repro.runner.pool import last_run_stats, run_context
 
+    _apply_check_mode(args.check)
+    _validate_cache_env()
     _check_resume(args.resume)
     jobs = _resolve_jobs_or_exit(args.jobs)
     grid_kwargs = dict(
@@ -265,10 +314,11 @@ def leakage(args: argparse.Namespace) -> None:
 def cache_cmd(args: argparse.Namespace) -> None:
     """``python -m repro cache --stats/--clear``: inspect or empty the
     on-disk cache layers under ``~/.cache/repro``."""
-    from repro.runner.result_cache import default_result_dir
+    from repro.runner.result_cache import RESULT_CACHE, default_result_dir
     from repro.util.diskcache import clear_dir, dir_stats, max_cache_bytes
     from repro.workloads.cache import default_cache_dir
 
+    _validate_cache_env()
     layers = (("traces", default_cache_dir()),
               ("results", default_result_dir()))
     if args.clear:
@@ -288,6 +338,10 @@ def cache_cmd(args: argparse.Namespace) -> None:
         where = directory if directory else "(disabled)"
         print(f"  {name:8s} {stats['files']:5d} files "
               f"{stats['bytes'] / 1e6:8.1f} MB  {where}")
+    scan = RESULT_CACHE.verify()
+    if scan["scanned"]:
+        print(f"results integrity: {scan['scanned']} entries scanned, "
+              f"{scan['quarantined']} corrupt quarantined")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -316,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="resume an interrupted sweep: recompute only the "
                     "cells missing from the result-cache checkpoints and "
                     "report how many were restored")
+    sp.add_argument("--check", nargs="?", const="1", default=None,
+                    metavar="RATE",
+                    help="checked simulation mode: run every cell under "
+                    "the invariant sanitizer and differential oracle, "
+                    "validating every RATE accesses (default 1024); "
+                    "exports REPRO_CHECK to worker processes")
     sp.add_argument("--profile", action="store_true",
                     help="run ONE representative cell under cProfile and "
                     "print the top-20 cumulative hotspots instead of "
@@ -339,8 +399,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated window sizes (default: 2,4,8,16,32)")
     lp.add_argument("--smoke", action="store_true",
                     help="CI-sized grid: 3 schemes, window 8 only")
-    lp.add_argument("--check", action="store_true",
-                    help="exit non-zero if any validation check fails")
+    lp.add_argument("--check", nargs="?", const="1", default=None,
+                    metavar="RATE",
+                    help="checked simulation mode (sanitizer + oracle, "
+                    "every RATE accesses, default 1024; exports "
+                    "REPRO_CHECK to workers) — and exit non-zero if any "
+                    "validation check fails")
     lp.add_argument("--report", default="BENCH_leakage.json",
                     help="leakage report file ('' to skip recording)")
     lp.add_argument("--telemetry", default="", metavar="PATH",

@@ -48,6 +48,17 @@ class FunctionalRandomFillCache:
         self.rng = rng
         self.ctx = ctx
 
+    def _draw_offset(self) -> int:
+        """One windowed draw (Figure 4 mask path for power-of-two sizes).
+
+        Factored out so checked mode (:mod:`repro.check`) can wrap it
+        and validate every offset against the Table II window bounds.
+        """
+        window = self.window
+        if window.is_power_of_two:
+            return self.rng.draw_masked(window.size - 1) - window.a
+        return self.rng.draw_below(window.size) - window.a
+
     def access_line(self, line_addr: int) -> bool:
         """Perform one access; returns hit/miss and applies the fill."""
         if self.tag_store.access(line_addr, self.ctx):
@@ -56,11 +67,7 @@ class FunctionalRandomFillCache:
         if window.disabled:
             self.tag_store.fill(line_addr, self.ctx)
             return False
-        if window.is_power_of_two:
-            offset = self.rng.draw_masked(window.size - 1) - window.a
-        else:
-            offset = self.rng.draw_below(window.size) - window.a
-        fill_line = line_addr + offset
+        fill_line = line_addr + self._draw_offset()
         if fill_line >= 0 and not self.tag_store.probe(fill_line, self.ctx):
             self.tag_store.fill(fill_line, self.ctx)
         return False

@@ -66,8 +66,13 @@ def run_flush_reload_trials(tag_store: TagStore,
     m = len(lines)
     correct = 0
     joint = JointCounts()
+    from repro.check import active_checker
+    checker = active_checker()
 
     for _ in range(trials):
+        if checker is not None:
+            checker.maybe_validate_store(tag_store,
+                                         where="flush_reload.tag_store")
         # Flush phase: evict the whole shared region.
         for line in lines:
             tag_store.invalidate(line)

@@ -124,6 +124,31 @@ class RandomFillWindow:
 DISABLED_WINDOW = RandomFillWindow(0, 0)
 
 
+def validate_window(window: RandomFillWindow,
+                    capacity_lines: "int | None" = None,
+                    where: str = "window") -> RandomFillWindow:
+    """Reject window configurations the hardware could not honour.
+
+    ``RandomFillWindow.__post_init__`` already enforces non-negative
+    bounds and the 8-bit register range; this adds the checks that need
+    context the value object does not have:
+
+    * a window of ``W = a + b + 1`` candidate lines larger than the
+      cache it fills (``capacity_lines``) guarantees every random fill
+      displaces a line the window itself just filled — a
+      misconfiguration, not a security setting;
+
+    raising :exc:`ValueError` with the offending numbers.  Returns the
+    window so call sites can validate inline.
+    """
+    if capacity_lines is not None and window.size > capacity_lines:
+        raise ValueError(
+            f"{where}: window [{-window.a}, {window.b}] spans "
+            f"{window.size} candidate lines but the cache holds only "
+            f"{capacity_lines}; shrink the window or enlarge the cache")
+    return window
+
+
 def encode_range_registers(window: RandomFillWindow) -> "tuple[int, int]":
     """Encode a window into (RR1, RR2) as in Figure 4.
 
@@ -148,5 +173,11 @@ def decode_range_registers(rr1: int, rr2: int,
         raise ValueError("RR1 encodes a positive lower bound")
     if pow2:
         size = (rr2 & mask) + 1
+        if size & (size - 1):
+            raise ValueError(
+                f"RR2 0b{rr2 & mask:b} is not a window-size mask: the "
+                f"Figure 4 mask-and-add datapath needs a power-of-two "
+                f"window, got size {size} (use pow2=False for the "
+                f"general set_RR encoding)")
         return RandomFillWindow(a, size - 1 - a)
     return RandomFillWindow(a, rr2 & mask)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro import check as _check
 from repro.cache.context import AccessContext, DEFAULT_CONTEXT
 from repro.cache.controller import DemandFetchPolicy, L1Controller
 from repro.cache.mshr import RequestType
@@ -143,14 +144,27 @@ class TimingModel:
         access kernel); any other iterable of ``(addr, gap, write)``
         records takes the per-record path.  Both produce bit-identical
         results for equal traces.
+
+        With a checker installed (``REPRO_CHECK``, see
+        :mod:`repro.check`) the run is delegated to the checked driver,
+        which executes the same kernels in sampled chunks with the
+        invariant sanitizer and — for the fused configuration — the
+        differential oracle in lockstep.  Checked results are
+        bit-identical to unchecked ones.
         """
+        checker = _check.active_checker()
+        if checker is not None:
+            from repro.check.oracle import checked_run
+
+            return checked_run(self, trace, ctx, start_cycle, checker)
         if isinstance(trace, Trace):
             return self._run_columnar(trace, ctx, start_cycle)
         return self._run_records(trace, ctx, start_cycle)
 
     def _run_records(self, trace: Iterable[TraceRecord],
                      ctx: AccessContext = DEFAULT_CONTEXT,
-                     start_cycle: int = 0) -> SimResult:
+                     start_cycle: int = 0, _carry: Optional[dict] = None,
+                     _settle: bool = True) -> SimResult:
         l1 = self.l1
         l2 = l1.next_level
         width = self.issue_width
@@ -177,15 +191,17 @@ class TimingModel:
         now = start_cycle
         instructions = 0
         # Fractional issue cycles accumulate so four 1-gap records cost
-        # one cycle, not four.
-        issue_backlog = 0
+        # one cycle, not four.  The checked driver runs this kernel in
+        # chunks and threads the backlog (and the charge dict below)
+        # through ``_carry`` so chunked execution stays bit-identical.
+        issue_backlog = 0 if _carry is None else _carry["backlog"]
         # line -> completion already charged, so a burst of references
         # to one in-flight line pays its wait only once — but the FIRST
         # reference to a line someone else fetched (e.g. a too-late
         # next-line prefetch) pays the remaining latency.  Pruned once
         # it exceeds CHARGED_PRUNE_THRESHOLD entries so it cannot grow
         # with every unique line of a long trace.
-        charged: dict = {}
+        charged: dict = {} if _carry is None else _carry["charged"]
         for addr, gap, write in trace:
             instructions += gap
             issue_backlog += gap
@@ -212,8 +228,12 @@ class TimingModel:
                     now += (remaining + mlp - 1) // mlp
             if len(charged) >= prune_at:
                 charged = prune_charged(charged, now)
-        now = window.settle(now)
-        l1.settle()
+        if _carry is not None:
+            _carry["charged"] = charged
+            _carry["backlog"] = issue_backlog
+        if _settle:
+            now = window.settle(now)
+            l1.settle()
         return SimResult(
             instructions=instructions,
             cycles=now - start_cycle,
@@ -312,7 +332,9 @@ class TimingModel:
         )
 
     def _run_columnar_fused(self, trace: Trace, lines_l, steps_l, writes_l,
-                            ctx: AccessContext, start_cycle: int) -> SimResult:
+                            ctx: AccessContext, start_cycle: int,
+                            _carry: Optional[dict] = None,
+                            _settle: bool = True) -> SimResult:
         """Fused kernel: controller access inlined into the timing loop.
 
         Replicates ``L1Controller.access_line`` + the MLP charging
@@ -409,7 +431,10 @@ class TimingModel:
         write_ctx = AccessContext(thread_id=ctx.thread_id, domain=ctx.domain,
                                   critical=ctx.critical, is_write=True)
         now = start_cycle
-        charged: dict = {}
+        # The checked driver runs this kernel chunk by chunk; the charge
+        # dict is threaded through ``_carry`` (prunes replace the dict,
+        # so the holder is re-read on entry and written back on exit).
+        charged: dict = {} if _carry is None else _carry["charged"]
         charged_get = charged.get
         hits_local = 0
         nc = miss_queue.next_completion
@@ -566,8 +591,11 @@ class TimingModel:
         stats.next_level_requests += nlr
         stats.random_fill_issued += rf_issued
         stats.random_fill_dropped += rf_dropped
-        now = window.settle(now)
-        l1.settle()
+        if _carry is not None:
+            _carry["charged"] = charged
+        if _settle:
+            now = window.settle(now)
+            l1.settle()
         return SimResult(
             instructions=trace.instruction_count,
             cycles=now - start_cycle,

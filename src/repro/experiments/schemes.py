@@ -27,7 +27,7 @@ from repro.cache.context import AccessContext
 from repro.core.engine import RandomFillEngine
 from repro.core.policy import RandomFillPolicy
 from repro.core.syscalls import RandomFillOS
-from repro.core.window import RandomFillWindow
+from repro.core.window import RandomFillWindow, validate_window
 from repro.experiments.config import SimulatorConfig
 from repro.prefetch.tagged import TaggedPrefetchPolicy
 from repro.secure.newcache import Newcache
@@ -65,6 +65,10 @@ class Scheme:
         """Program the thread's range registers (Table II system call)."""
         if self.os is None:
             raise ValueError(f"scheme {self.name!r} has no random fill engine")
+        validate_window(
+            window,
+            capacity_lines=getattr(self.l1.tag_store, "capacity_lines", None),
+            where=f"scheme {self.name!r}")
         self.os.set_rr(window.a, window.b, thread_id)
 
     def prepare(self, now: int = 0,

@@ -27,7 +27,11 @@ from repro.analysis.hit_probability import FunctionalRandomFillCache
 from repro.cache.context import AccessContext
 from repro.cache.set_associative import SetAssociativeCache
 from repro.cache.tagstore import TagStore
-from repro.core.window import DISABLED_WINDOW, RandomFillWindow
+from repro.core.window import (
+    DISABLED_WINDOW,
+    RandomFillWindow,
+    validate_window,
+)
 from repro.secure.newcache import Newcache
 from repro.secure.plcache import PLCache
 from repro.secure.region import ProtectedRegion
@@ -131,6 +135,8 @@ def build_functional_scheme(name: str,
     else:  # plcache_preload
         store = PLCache(cache_bytes, associativity)
 
+    validate_window(window, capacity_lines=store.capacity_lines,
+                    where=f"scheme {name!r}")
     victim_cache = FunctionalRandomFillCache(
         store, window,
         HardwareRng(derive_seed(seed, "leakage", name, "victim-fill")),

@@ -72,8 +72,12 @@ def run_occupancy_trials(scheme: FunctionalScheme,
                    for i in range(scheme.capacity_lines)]
     rng = random.Random(derive_seed(seed, "occupancy", scheme.name, "secrets"))
     joint = JointCounts()
+    from repro.check import active_checker
+    checker = active_checker()
 
     for _ in range(trials):
+        if checker is not None:
+            checker.maybe_validate_store(store, where="occupancy.tag_store")
         scheme.reset_victim()
         # Prime: top the cache back up with attacker lines (after the
         # first trial only the previously displaced ones refill).

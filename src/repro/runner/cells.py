@@ -86,11 +86,23 @@ def run_cell(spec):
     the simulators allocate millions of short-lived acyclic objects per
     cell, so generation-0 scans cost ~10% of wall clock and can never
     free anything the refcounts don't.  Results are unaffected.
+
+    When ``REPRO_CHECK`` requests checked mode
+    (:mod:`repro.check`), the whole cell runs under an installed
+    checker — including the chi-square finalize pass — and any
+    :exc:`~repro.check.CheckViolation` is re-raised carrying the cell
+    spec's repr so the failing point can be reproduced directly.
     """
+    from repro.check import CheckViolation, checked_from_env
+
     was_enabled = gc.isenabled()
     gc.disable()
     try:
-        return _dispatch_cell(spec)
+        with checked_from_env():
+            try:
+                return _dispatch_cell(spec)
+            except CheckViolation as error:
+                raise error.with_spec(repr(spec)) from None
     finally:
         if was_enabled:
             gc.enable()

@@ -37,7 +37,12 @@ The pool mode is supervised rather than a bare ``Executor.map``:
   to inline execution in the parent, which cannot lose a worker;
 * every transition is reported to :mod:`repro.runner.telemetry` and
   summarized in :func:`last_run_stats` (retries, timeouts, pool
-  restarts, p50/p95 cell latency).
+  restarts, p50/p95 cell latency, checked-mode ``checks_run`` /
+  ``violations``);
+* a :exc:`~repro.check.CheckViolation` from a cell running under
+  ``REPRO_CHECK`` is deterministic, so it is never retried: it is
+  emitted as a ``check_violation`` telemetry event and re-raised at
+  once with the failing spec attached.
 
 Timeouts are enforced only in pool mode: inline execution cannot
 preempt a running cell, so ``timeout`` is ignored there (retries still
@@ -55,6 +60,7 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.check import CheckViolation, check_totals
 from repro.runner.cells import run_cell
 from repro.runner.result_cache import RESULT_CACHE, ResultCache
 from repro.runner.telemetry import Telemetry, worker_meta
@@ -135,8 +141,13 @@ def resolve_cell_retries(retries: Optional[int] = None) -> int:
 def _run_cell_task(spec):
     """Worker entry point: the cell result plus execution metadata."""
     started = time.perf_counter()
+    checks_before = check_totals()["checks_run"]
     result = run_cell(spec)
-    return result, worker_meta(time.perf_counter() - started)
+    meta = worker_meta(time.perf_counter() - started)
+    checks_run = check_totals()["checks_run"] - checks_before
+    if checks_run:
+        meta["checks_run"] = checks_run
+    return result, meta
 
 
 # -- run-wide defaults (CLI surface) -----------------------------------------
@@ -195,7 +206,8 @@ class _Supervisor:
         self.attempts: Dict[int, int] = {}
         self.latencies: List[float] = []
         self.counters = dict(retries=0, timeouts=0, pool_restarts=0,
-                             inline_fallback=0)
+                             inline_fallback=0, checks_run=0,
+                             check_violations=0)
 
     def note_cached(self, index: int) -> None:
         self.done += 1
@@ -207,6 +219,7 @@ class _Supervisor:
         self.results[index] = result
         if self.fingerprints[index] is not None:
             self.cache.store(self.fingerprints[index], result)
+        self.counters["checks_run"] += meta.get("checks_run", 0)
         self.latencies.append(meta.get("wall_s", 0.0))
         self.done += 1
         self.telemetry.emit("cell_finish", index=index,
@@ -218,6 +231,15 @@ class _Supervisor:
         """Count one failed attempt; True if the cell may be retried."""
         attempt = self.attempts.get(index, 0) + 1
         self.attempts[index] = attempt
+        if isinstance(error, CheckViolation):
+            # A checked-mode divergence is deterministic — retrying the
+            # same spec would only rediscover it.  Surface it at once.
+            self.counters["check_violations"] += 1
+            self.telemetry.emit("check_violation", index=index,
+                                kind=error.kind, where=error.where,
+                                access_index=error.index,
+                                error=str(error), spec=error.spec)
+            return False
         if attempt > self.retries:
             return False
         self.counters["retries"] += 1
@@ -464,30 +486,37 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
             sup.note_cached(i)
 
         jobs_used = 1
-        if pending:
-            # A single pending cell still goes through the pool when a
-            # timeout is requested: inline execution cannot preempt it.
-            inline = jobs == 1 or (len(pending) == 1 and timeout is None)
-            if inline:
-                _run_inline(sup, pending)
-            else:
-                jobs_used = _run_supervised(sup, pending, jobs)
-
-        elapsed = time.perf_counter() - started
-        ordered = sorted(sup.latencies)
-        _LAST_RUN.clear()
-        _LAST_RUN.update(
-            cells=total, jobs=jobs_used, seconds=elapsed,
-            cells_per_sec=(total / elapsed) if elapsed > 0 else 0.0,
-            result_cache_hits=cache_hits,
-            result_cache_misses=cache_misses,
-            result_cache_uncacheable=uncacheable,
-            retries=sup.counters["retries"],
-            timeouts=sup.counters["timeouts"],
-            pool_restarts=sup.counters["pool_restarts"],
-            inline_fallback=sup.counters["inline_fallback"],
-            latency_p50_s=_percentile(ordered, 0.50) if ordered else 0.0,
-            latency_p95_s=_percentile(ordered, 0.95) if ordered else 0.0)
+        try:
+            if pending:
+                # A single pending cell still goes through the pool when
+                # a timeout is requested: inline execution cannot
+                # preempt it.
+                inline = jobs == 1 or (len(pending) == 1 and timeout is None)
+                if inline:
+                    _run_inline(sup, pending)
+                else:
+                    jobs_used = _run_supervised(sup, pending, jobs)
+        finally:
+            # Recorded even when the run dies (e.g. a CheckViolation):
+            # last_run_stats still reports what was counted up to the
+            # failure.  run_finish is only emitted for completed runs.
+            elapsed = time.perf_counter() - started
+            ordered = sorted(sup.latencies)
+            _LAST_RUN.clear()
+            _LAST_RUN.update(
+                cells=total, jobs=jobs_used, seconds=elapsed,
+                cells_per_sec=(total / elapsed) if elapsed > 0 else 0.0,
+                result_cache_hits=cache_hits,
+                result_cache_misses=cache_misses,
+                result_cache_uncacheable=uncacheable,
+                retries=sup.counters["retries"],
+                timeouts=sup.counters["timeouts"],
+                pool_restarts=sup.counters["pool_restarts"],
+                inline_fallback=sup.counters["inline_fallback"],
+                checks_run=sup.counters["checks_run"],
+                violations=sup.counters["check_violations"],
+                latency_p50_s=_percentile(ordered, 0.50) if ordered else 0.0,
+                latency_p95_s=_percentile(ordered, 0.95) if ordered else 0.0)
         telemetry.emit("run_finish", **_LAST_RUN)
     finally:
         if owned is not None:

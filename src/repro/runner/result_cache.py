@@ -23,9 +23,13 @@ keep working unchanged.
 
 The disk layout mirrors the trace cache: one pickle per fingerprint
 under ``~/.cache/repro/results`` (override with ``REPRO_RESULT_CACHE``,
-disable with ``0``/``off``/``none``/``disabled``), atomic writes,
-unreadable entries treated as misses, and the shared mtime-LRU size
-bound (``REPRO_CACHE_MAX_MB``, see :mod:`repro.util.diskcache`).
+disable with ``0``/``off``/``none``/``disabled``), atomic writes, and
+the shared mtime-LRU size bound (``REPRO_CACHE_MAX_MB``, see
+:mod:`repro.util.diskcache`).  A corrupt entry — unreadable pickle or
+a stored fingerprint that does not match its file name — is
+*quarantined*: unlinked on first contact, counted in
+``corrupt_evicted``, and the cell recomputes; ``python -m repro cache
+--stats`` runs the same integrity scan over the whole directory.
 """
 
 from __future__ import annotations
@@ -68,6 +72,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.store_failures = 0
+        self.corrupt_evicted = 0
         self._suspended = 0
 
     # -- keying --------------------------------------------------------------
@@ -103,19 +108,40 @@ class ResultCache:
 
     # -- load/store ----------------------------------------------------------
 
+    def _quarantine(self, path: str) -> None:
+        """Remove a corrupt/mismatched entry so it cannot be retried
+        forever (and cannot be served by a future buggy reader)."""
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+        self.corrupt_evicted += 1
+
     def load(self, fingerprint: str):
-        """The cached result, or ``None`` on any kind of miss."""
+        """The cached result, or ``None`` on any kind of miss.
+
+        A missing file is a plain miss; an entry that exists but cannot
+        be unpickled — or whose stored fingerprint does not match its
+        name (truncated write, bit rot, tampering) — is *quarantined*:
+        unlinked on the spot and counted in ``corrupt_evicted``.
+        """
         if not self.enabled:
             return None
         path = self._path_for(fingerprint)
         try:
             with open(path, "rb") as fh:
-                stored_fingerprint, result = pickle.load(fh)
+                payload = pickle.load(fh)
+            stored_fingerprint, result = payload
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, ValueError,
-                TypeError, AttributeError):
+                TypeError, AttributeError, ModuleNotFoundError):
+            self._quarantine(path)
             self.misses += 1
             return None
         if stored_fingerprint != fingerprint:
+            self._quarantine(path)
             self.misses += 1
             return None
         try:
@@ -148,6 +174,39 @@ class ResultCache:
         except (OSError, pickle.PicklingError, TypeError, AttributeError):
             # Unpicklable results (or a full disk) only cost caching.
             self.store_failures += 1
+
+    # -- maintenance ---------------------------------------------------------
+
+    def verify(self) -> dict:
+        """Integrity-scan every entry on disk; quarantine the bad ones.
+
+        Each ``*.result`` file must unpickle to a
+        ``(fingerprint, result)`` pair whose fingerprint matches its
+        file name.  Returns ``{"scanned": n, "quarantined": m}``; the
+        quarantined count also accumulates into ``corrupt_evicted``.
+        """
+        scanned = 0
+        quarantined_before = self.corrupt_evicted
+        if self.disk_dir is None or not os.path.isdir(self.disk_dir):
+            return {"scanned": 0, "quarantined": 0}
+        for name in sorted(os.listdir(self.disk_dir)):
+            if not name.endswith(".result"):
+                continue
+            scanned += 1
+            path = os.path.join(self.disk_dir, name)
+            try:
+                with open(path, "rb") as fh:
+                    stored_fingerprint, _result = pickle.load(fh)
+            except FileNotFoundError:
+                continue
+            except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                    TypeError, AttributeError, ModuleNotFoundError):
+                self._quarantine(path)
+                continue
+            if f"{stored_fingerprint}.result" != name:
+                self._quarantine(path)
+        return {"scanned": scanned,
+                "quarantined": self.corrupt_evicted - quarantined_before}
 
 
 #: process-wide result cache used by :func:`repro.runner.pool.run_cells`

@@ -15,6 +15,11 @@ vocabulary:
   worker max-RSS in KB;
 * ``cell_retry``   — an attempt raised and the cell was requeued;
 * ``cell_timeout`` — an attempt exceeded ``REPRO_CELL_TIMEOUT``;
+* ``check_violation`` — a cell running under ``REPRO_CHECK`` tripped
+  the invariant sanitizer or diverged from the differential oracle
+  (:mod:`repro.check`): violation kind, component, access index, the
+  formatted delta and the cell spec repr; such a cell is never
+  retried — the divergence is deterministic;
 * ``pool_restart`` — the worker pool died (or was killed to enforce a
   timeout) and the unfinished cells moved to a fresh pool;
 * ``inline_fallback`` — the restart budget ran out and the remaining

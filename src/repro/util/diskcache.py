@@ -29,14 +29,24 @@ def cache_root() -> str:
 
 
 def max_cache_bytes() -> Optional[int]:
-    """Per-directory byte budget; ``None`` when eviction is disabled."""
+    """Per-directory byte budget; ``None`` when eviction is disabled.
+
+    A malformed ``REPRO_CACHE_MAX_MB`` raises :exc:`ValueError` naming
+    the variable — silently falling back to the default would let a
+    typo (``512MB``, ``1,024``) defeat the budget the user asked for.
+    """
     raw = os.environ.get(_ENV_VAR, "").strip()
     if not raw:
         return DEFAULT_MAX_MB * 1024 * 1024
     try:
         megabytes = float(raw)
     except ValueError:
-        return DEFAULT_MAX_MB * 1024 * 1024
+        raise ValueError(
+            f"{_ENV_VAR} must be a number of megabytes "
+            f"(0 or negative disables eviction), got {raw!r}") from None
+    if megabytes != megabytes:  # NaN
+        raise ValueError(f"{_ENV_VAR} must be a number of megabytes, "
+                         f"got {raw!r}")
     if megabytes <= 0:
         return None
     return int(megabytes * 1024 * 1024)

@@ -1,0 +1,188 @@
+"""Tests for checked-mode activation, parsing and the Checker itself."""
+
+import pickle
+
+import pytest
+
+from repro.check import (
+    DEFAULT_RATE,
+    Checker,
+    CheckViolation,
+    active_checker,
+    check_rate_from_env,
+    check_totals,
+    checked,
+    checked_from_env,
+    install_checker,
+    parse_check_value,
+    uninstall_checker,
+)
+
+
+class TestParseCheckValue:
+    def test_empty_and_zero_mean_off(self):
+        assert parse_check_value("") is None
+        assert parse_check_value("0") is None
+        assert parse_check_value("  ") is None
+
+    def test_one_selects_default_rate(self):
+        assert parse_check_value("1") == DEFAULT_RATE
+
+    def test_larger_integers_are_the_rate(self):
+        assert parse_check_value("4096") == 4096
+        assert parse_check_value(" 17 ") == 17
+
+    @pytest.mark.parametrize("raw", ["yes", "1.5", "on", "1k"])
+    def test_garbage_rejected_naming_variable(self, raw):
+        with pytest.raises(ValueError, match="REPRO_CHECK"):
+            parse_check_value(raw)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="REPRO_CHECK"):
+            parse_check_value("-1")
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        assert check_rate_from_env() is None
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert check_rate_from_env() == DEFAULT_RATE
+        monkeypatch.setenv("REPRO_CHECK", "256")
+        assert check_rate_from_env() == 256
+
+
+class TestCheckViolation:
+    def test_message_carries_structure(self):
+        error = CheckViolation("mshr", "l1.miss_queue", "broken",
+                               index=42, expected="1", actual="2")
+        text = str(error)
+        assert "[mshr] l1.miss_queue: broken" in text
+        assert "at access 42" in text
+        assert "expected 1" in text and "actual 2" in text
+
+    def test_pickle_roundtrip(self):
+        error = CheckViolation("stats", "l1.stats", "off", index=7,
+                               expected="3", actual="4", spec="CellSpec(...)")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, CheckViolation)
+        assert (clone.kind, clone.where, clone.index) == ("stats",
+                                                          "l1.stats", 7)
+        assert str(clone) == str(error)
+
+    def test_with_spec_attaches_once(self):
+        error = CheckViolation("mshr", "l1", "broken")
+        tagged = error.with_spec("CellSpec(kind='general')")
+        assert tagged.spec == "CellSpec(kind='general')"
+        assert "spec CellSpec" in str(tagged)
+        # Already-tagged violations keep their original spec.
+        assert tagged.with_spec("other") is tagged
+
+    def test_is_an_assertion_error(self):
+        assert issubclass(CheckViolation, AssertionError)
+
+
+class TestCheckerOffsets:
+    def test_in_window_offsets_accumulate(self):
+        checker = Checker()
+        for offset in (-4, -1, 0, 3):
+            checker.note_offset(offset, 4, 3)
+        assert checker.violations == 0
+
+    @pytest.mark.parametrize("offset", [-5, 4])
+    def test_out_of_window_offset_raises(self, offset):
+        checker = Checker()
+        with pytest.raises(CheckViolation, match="window-bounds"):
+            checker.note_offset(offset, 4, 3)
+        assert checker.violations == 1
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Checker(rate=0)
+
+
+class TestChiSquare:
+    def test_uniform_draws_pass(self):
+        checker = Checker()
+        for i in range(4000):
+            checker.note_offset(i % 8 - 4, 4, 3)
+        checker.finalize()
+
+    def test_stuck_draw_path_trips(self):
+        checker = Checker()
+        for _ in range(4000):
+            checker.note_offset(0, 4, 3)
+        with pytest.raises(CheckViolation, match="uniformity"):
+            checker.finalize()
+
+    def test_small_samples_skipped(self):
+        checker = Checker()
+        for _ in range(100):              # far below MIN_CHI2_SAMPLES
+            checker.note_offset(0, 4, 3)
+        checker.finalize()
+
+    def test_opt_out(self):
+        checker = Checker(chi_square=False)
+        for _ in range(4000):
+            checker.note_offset(0, 4, 3)
+        checker.finalize()
+
+
+class TestActivation:
+    def test_checked_installs_and_uninstalls(self):
+        assert active_checker() is None
+        with checked() as checker:
+            assert active_checker() is checker
+        assert active_checker() is None
+
+    def test_double_install_rejected(self):
+        with checked():
+            with pytest.raises(RuntimeError):
+                install_checker(Checker())
+
+    def test_uninstall_without_install_is_noop(self):
+        assert uninstall_checker() is None
+
+    def test_totals_accumulate_across_activations(self):
+        base = check_totals()["checks_run"]
+        with checked() as checker:
+            checker.checks_run += 3
+        with checked() as checker:
+            checker.checks_run += 2
+        assert check_totals()["checks_run"] == base + 5
+
+    def test_engine_draws_validated_while_installed(self):
+        from repro.core.engine import RandomFillEngine
+        from repro.core.window import RandomFillWindow
+        from repro.util.rng import HardwareRng
+
+        engine = RandomFillEngine(HardwareRng(1))
+        engine.set_window(0, RandomFillWindow(4, 3))
+        # Corrupt the derived draw constants: size says 12 but the
+        # window registers say [-4, 3].  Unchecked, the bad draw path
+        # runs silently; checked, the first out-of-window draw raises.
+        engine._params[0] = (4, None, 12)
+        with checked():
+            with pytest.raises(CheckViolation, match="window-bounds"):
+                for _ in range(64):
+                    engine.random_offset(0)
+        # The wrap is removed on uninstall: draws no longer validate.
+        for _ in range(64):
+            engine.random_offset(0)
+
+    def test_failing_body_skips_chi_square_finalize(self):
+        with pytest.raises(KeyError):
+            with checked() as checker:
+                for _ in range(4000):
+                    checker.note_offset(0, 4, 3)   # would trip finalize
+                raise KeyError("original failure")
+
+    def test_checked_from_env_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        with checked_from_env() as checker:
+            assert checker is None
+
+    def test_checked_from_env_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "128")
+        with checked_from_env() as checker:
+            assert checker is not None
+            assert checker.rate == 128
+        assert active_checker() is None

@@ -1,0 +1,105 @@
+"""Checked mode through the supervised runner: env wiring, telemetry,
+stats surfacing and the no-retry rule for violations."""
+
+import pytest
+
+from repro.check import CheckViolation
+from repro.runner.cells import CellSpec, run_cell
+from repro.runner.pool import last_run_stats, run_cells
+from repro.runner.result_cache import ResultCache
+from repro.runner.telemetry import read_events
+
+
+def _nocache():
+    return ResultCache(disk_dir=None, use_default_disk_dir=False)
+
+
+def _spec(n_refs=2500):
+    return CellSpec(kind="general", benchmark="hmmer", window=(4, 3),
+                    n_refs=n_refs, seed=7)
+
+
+class ViolatingSpec:
+    """A cell whose run trips a checked-mode assertion."""
+
+    def __repr__(self):
+        return "ViolatingSpec()"
+
+    def run(self):
+        raise CheckViolation("mshr", "l1.miss_queue", "seeded divergence",
+                             index=99)
+
+
+class TestEnvWiring:
+    def test_run_cell_results_unchanged_by_checking(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        unchecked = run_cell(_spec())
+        monkeypatch.setenv("REPRO_CHECK", "512")
+        checked_result = run_cell(_spec())
+        assert checked_result == unchecked
+
+    def test_malformed_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "fast")
+        with pytest.raises(ValueError, match="REPRO_CHECK"):
+            run_cell(_spec(n_refs=100))
+
+    def test_checks_run_surface_in_last_run_stats(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "512")
+        run_cells([_spec()], jobs=1, result_cache=_nocache())
+        stats = last_run_stats()
+        assert stats["checks_run"] > 0
+        assert stats["violations"] == 0
+
+    def test_unchecked_run_reports_zero_checks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        run_cells([_spec()], jobs=1, result_cache=_nocache())
+        assert last_run_stats()["checks_run"] == 0
+
+
+class TestViolationHandling:
+    def test_violation_fails_run_without_retry(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        log = str(tmp_path / "events.jsonl")
+        with pytest.raises(CheckViolation) as excinfo:
+            run_cells([ViolatingSpec()], jobs=1, retries=3,
+                      result_cache=_nocache(), telemetry=log)
+        # The spec repr rides along for reproduction...
+        assert "ViolatingSpec()" in str(excinfo.value)
+        events = [e["event"] for e in read_events(log)]
+        # ...the violation is a first-class telemetry event...
+        assert "check_violation" in events
+        # ...and deterministic divergences are never retried.
+        assert "cell_retry" not in events
+        assert last_run_stats()["violations"] == 1
+
+    def test_violation_event_payload(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        log = str(tmp_path / "events.jsonl")
+        with pytest.raises(CheckViolation):
+            run_cells([ViolatingSpec()], jobs=1, result_cache=_nocache(),
+                      telemetry=log)
+        event = next(e for e in read_events(log)
+                     if e["event"] == "check_violation")
+        assert event["kind"] == "mshr"
+        assert event["where"] == "l1.miss_queue"
+        assert event["access_index"] == 99
+        assert event["spec"] == "ViolatingSpec()"
+
+    def test_ordinary_failures_still_retry(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+
+        class FlakySpec:
+            attempts = 0
+
+            def run(self):
+                type(self).attempts += 1
+                if type(self).attempts == 1:
+                    raise RuntimeError("transient")
+                return "ok"
+
+        log = str(tmp_path / "events.jsonl")
+        results = run_cells([FlakySpec()], jobs=1, retries=2,
+                            result_cache=_nocache(), telemetry=log)
+        assert results == ["ok"]
+        assert "cell_retry" in [e["event"] for e in read_events(log)]

@@ -7,6 +7,7 @@ from repro.core.window import (
     RandomFillWindow,
     decode_range_registers,
     encode_range_registers,
+    validate_window,
 )
 
 
@@ -99,3 +100,48 @@ class TestRegisterEncoding:
     def test_decode_pow2(self):
         assert decode_range_registers(0b11111100, 0b111) == \
             RandomFillWindow(4, 3)
+
+    def test_decode_pow2_rejects_non_mask_rr2(self):
+        # RR2 = 0b101 -> size 6: not a power of two, so the Figure 4
+        # mask-and-add datapath cannot realize it.
+        with pytest.raises(ValueError, match="power-of-two"):
+            decode_range_registers(0b11111100, 0b101, pow2=True)
+        # The general set_RR encoding still accepts it (RR2 = b).
+        assert decode_range_registers(0, 0b101, pow2=False) == \
+            RandomFillWindow(0, 5)
+
+
+class TestValidateWindow:
+    def test_window_within_capacity_passes_through(self):
+        w = RandomFillWindow(16, 15)
+        assert validate_window(w, capacity_lines=512) is w
+
+    def test_no_capacity_context_accepts_anything(self):
+        assert validate_window(RandomFillWindow(64, 63)) is not None
+
+    def test_window_exceeding_cache_rejected(self):
+        with pytest.raises(ValueError, match="64 candidate lines"):
+            validate_window(RandomFillWindow(32, 31), capacity_lines=32,
+                            where="test")
+
+    def test_scheme_set_window_validates(self):
+        from dataclasses import replace
+
+        from repro.experiments.config import BASELINE_CONFIG
+        from repro.experiments.schemes import build_scheme
+
+        config = replace(BASELINE_CONFIG, l1d_size=8 * 1024)  # 128 lines
+        scheme = build_scheme("random_fill", config, seed=0)
+        scheme.set_window(RandomFillWindow(16, 15))     # fine
+        with pytest.raises(ValueError, match="shrink the window"):
+            scheme.set_window(RandomFillWindow(128, 127))
+
+    def test_functional_scheme_validates(self):
+        from repro.leakage.adapters import build_functional_scheme
+        from repro.secure.region import ProtectedRegion
+
+        region = ProtectedRegion(0x4000, 1024)
+        with pytest.raises(ValueError, match="candidate lines"):
+            build_functional_scheme(
+                "random_fill", region, window=RandomFillWindow(64, 63),
+                cache_bytes=4 * 1024)

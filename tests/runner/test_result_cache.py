@@ -99,15 +99,31 @@ class TestLoadStore:
         assert cache.load(fingerprint) == {"squared": 49}
         assert cache.hits == 1 and cache.misses == 1
 
-    def test_corrupt_entry_is_a_miss(self, cache):
+    def test_corrupt_entry_is_quarantined(self, cache):
         fingerprint = cache.fingerprint(TokenSpec(7))
         cache.store(fingerprint, "good")
         path = cache._path_for(fingerprint)
         with open(path, "wb") as fh:
             fh.write(b"not a pickle")
         assert cache.load(fingerprint) is None
+        assert not os.path.exists(path)          # unlinked on first contact
+        assert cache.corrupt_evicted == 1
+        # The quarantined entry is now a plain (uncounted) miss.
+        assert cache.load(fingerprint) is None
+        assert cache.corrupt_evicted == 1
 
-    def test_fingerprint_mismatch_is_a_miss(self, cache):
+    def test_truncated_entry_is_quarantined(self, cache):
+        fingerprint = cache.fingerprint(TokenSpec(9))
+        cache.store(fingerprint, {"big": list(range(100))})
+        path = cache._path_for(fingerprint)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])     # interrupted write
+        assert cache.load(fingerprint) is None
+        assert not os.path.exists(path)
+        assert cache.corrupt_evicted == 1
+
+    def test_fingerprint_mismatch_is_quarantined(self, cache):
         a = cache.fingerprint(TokenSpec(1))
         b = cache.fingerprint(TokenSpec(2))
         cache.store(a, "result-a")
@@ -116,6 +132,13 @@ class TestLoadStore:
         with open(cache._path_for(b), "wb") as fh:
             fh.write(open(cache._path_for(a), "rb").read())
         assert cache.load(b) is None
+        assert not os.path.exists(cache._path_for(b))
+        assert cache.corrupt_evicted == 1
+        assert cache.load(a) == "result-a"       # the honest entry survives
+
+    def test_plain_miss_not_counted_corrupt(self, cache):
+        assert cache.load(cache.fingerprint(TokenSpec(1))) is None
+        assert cache.corrupt_evicted == 0
 
     def test_unpicklable_result_counts_store_failure(self, cache):
         fingerprint = cache.fingerprint(TokenSpec(1))
@@ -144,6 +167,34 @@ class TestLoadStore:
         with open(cache._path_for(fingerprint), "rb") as fh:
             stored = pickle.load(fh)
         assert stored == (fingerprint, "result")
+
+
+class TestVerify:
+    def test_scan_quarantines_only_bad_entries(self, cache):
+        good = cache.fingerprint(TokenSpec(1))
+        bad = cache.fingerprint(TokenSpec(2))
+        renamed = cache.fingerprint(TokenSpec(3))
+        cache.store(good, "ok")
+        cache.store(bad, "soon corrupt")
+        cache.store(renamed, "wrong name")
+        with open(cache._path_for(bad), "wb") as fh:
+            fh.write(b"garbage")
+        os.replace(cache._path_for(renamed),
+                   cache._path_for("0" * len(renamed)))
+        scan = cache.verify()
+        assert scan == {"scanned": 3, "quarantined": 2}
+        assert cache.corrupt_evicted == 2
+        assert cache.load(good) == "ok"
+
+    def test_scan_ignores_foreign_files(self, cache):
+        cache.store(cache.fingerprint(TokenSpec(1)), "ok")
+        with open(os.path.join(cache.disk_dir, "notes.txt"), "w") as fh:
+            fh.write("not a result")
+        assert cache.verify() == {"scanned": 1, "quarantined": 0}
+
+    def test_scan_of_missing_dir(self, tmp_path):
+        cache = ResultCache(disk_dir=str(tmp_path / "never-created"))
+        assert cache.verify() == {"scanned": 0, "quarantined": 0}
 
 
 class TestDefaultDir:

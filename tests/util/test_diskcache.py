@@ -41,9 +41,11 @@ class TestBudget:
         monkeypatch.setenv("REPRO_CACHE_MAX_MB", value)
         assert max_cache_bytes() is None
 
-    def test_garbage_falls_back_to_default(self, monkeypatch):
-        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "lots")
-        assert max_cache_bytes() == DEFAULT_MAX_MB * 1024 * 1024
+    @pytest.mark.parametrize("value", ["lots", "512MB", "1,024", "nan"])
+    def test_garbage_rejected_naming_variable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", value)
+        with pytest.raises(ValueError, match="REPRO_CACHE_MAX_MB"):
+            max_cache_bytes()
 
     def test_cache_root_is_shared_parent(self):
         assert cache_root().endswith(os.path.join(".cache", "repro"))
