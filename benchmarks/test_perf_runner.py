@@ -15,6 +15,10 @@ engine and the content-addressed result cache:
 
 * a **cold** Figure 10 sweep at ``jobs=1`` (result cache bypassed) must
   be >= 1.5x faster than the previous committed baseline,
+* the **batched** cold sweep (the default path: one trace decode and
+  one vectorized random-fill draw row per benchmark group) must be
+  >= 1.5x faster than the same sweep with ``--no-batch``, and
+  bit-identical to it,
 * a **warm** identical re-run must be >= 10x faster than cold, served
   entirely from the result cache,
 * results are bit-identical cold vs. warm (cache off vs. on) and
@@ -44,7 +48,7 @@ from repro import check as check_mod
 
 from repro.experiments.perf_general import figure10
 from repro.runner import CellSpec, record_bench, resolve_jobs, run_cell
-from repro.runner.pool import last_run_stats
+from repro.runner.pool import last_run_stats, run_context
 from repro.runner.result_cache import RESULT_CACHE
 from repro.util.tables import format_table
 from repro.workloads.cache import cached_workload
@@ -87,8 +91,11 @@ def run():
                     n_refs=100_000, seed=5)
     single_s = min(_timed(lambda: run_cell(spec)) for _ in range(5))
 
-    # Cold sweeps: result cache bypassed so every cell simulates.
+    # Cold sweeps: result cache bypassed so every cell simulates.  The
+    # default path batches compatible cells (one trace decode per
+    # benchmark group); the per-cell path is timed with batching off.
     cold_s, sequential = None, None
+    percell_s, percell_points = None, None
     with RESULT_CACHE.disabled():
         for _ in range(3):
             started = time.process_time()
@@ -96,11 +103,21 @@ def run():
             elapsed = time.process_time() - started
             if cold_s is None or elapsed < cold_s:
                 cold_s, sequential = elapsed, points
+        batch_stats = last_run_stats()
+
+        with run_context(batch=False):
+            for _ in range(3):
+                started = time.process_time()
+                points = figure10(n_refs=20_000, seed=5, jobs=1)
+                elapsed = time.process_time() - started
+                if percell_s is None or elapsed < percell_s:
+                    percell_s, percell_points = elapsed, points
 
         jobs = resolve_jobs(None)
         parallel = figure10(n_refs=20_000, seed=5, jobs=jobs)
         pool_stats = last_run_stats()
     jobs_match = _points_key(sequential) == _points_key(parallel)
+    batch_match = _points_key(sequential) == _points_key(percell_points)
 
     # Warm re-run: fill a fresh result cache, then time the identical
     # sweep served entirely from it.
@@ -160,6 +177,13 @@ def run():
         "fig10_20k_base_s": BASE_FIG10_20K_S,
         "fig10_20k_speedup_vs_seed": round(SEED_FIG10_20K_S / cold_s, 2),
         "fig10_20k_speedup_vs_base": round(BASE_FIG10_20K_S / cold_s, 2),
+        "fig10_batched_s": round(cold_s, 4),
+        "fig10_percell_s": round(percell_s, 4),
+        "batched_speedup_vs_percell": round(percell_s / cold_s, 2),
+        "batched_matches_percell": batch_match,
+        "batches": batch_stats.get("batches", 0),
+        "batched_cells": batch_stats.get("batched_cells", 0),
+        "decode_reuse_hits": batch_stats.get("decode_reuse_hits", 0),
         "fig10_20k_warm_s": round(warm_s, 4),
         "warm_speedup": round(cold_s / warm_s, 1),
         "warm_cache_hits": warm_stats.get("result_cache_hits", 0),
@@ -188,6 +212,13 @@ def test_runner_speedups(benchmark):
 
     # Columnar engine: cold sweep beats the committed baseline by 1.5x.
     assert payload["fig10_20k_speedup_vs_base"] >= 1.5
+
+    # Batched kernel: bit-identical to the per-cell path and >= 1.5x
+    # faster on the cold Figure 10 sweep (shared decode + warm replay +
+    # vectorized random-fill draws per benchmark group).
+    assert payload["batched_matches_percell"]
+    assert payload["batched_speedup_vs_percell"] >= 1.5
+    assert payload["batches"] >= 1
 
     # Result cache: identical re-run is served from disk, >= 10x faster.
     assert payload["warm_speedup"] >= 10

@@ -11,7 +11,10 @@ retry and timeout via ``REPRO_CELL_RETRIES`` / ``REPRO_CELL_TIMEOUT``)
 and appends its wall-clock and throughput to ``BENCH_runner.json``.
 ``--telemetry PATH`` streams a JSONL event log of the run; ``--resume``
 re-runs an interrupted sweep, recomputing only the cells that had not
-been checkpointed into the result cache.
+been checkpointed into the result cache.  Compatible cells are batched
+by default so one trace decode serves a whole group
+(``--batch/--no-batch`` / ``REPRO_BATCH``); results are bit-identical
+either way.
 
 ``python -m repro leakage`` runs the unified leakage sweep — empirical
 mutual information, guessing entropy and success-rate curves for the
@@ -111,6 +114,63 @@ def _run_profile(spec) -> None:
     print(report)
 
 
+def _profile_grid_specs(args: argparse.Namespace):
+    """The full cell grid for figures whose ``--profile`` should show
+    the batched path (``None`` -> profile a single cell instead)."""
+    if args.figure != "fig10":
+        return None
+    from repro.experiments.perf_general import figure10_specs
+
+    return figure10_specs(n_refs=args.n_refs, seed=args.seed)
+
+
+def _batch_label(batch) -> str:
+    first = batch.cells[0]
+    detail = getattr(first, "benchmark", None)
+    if not detail:
+        channel = getattr(first, "channel", "")
+        scheme = getattr(first, "scheme", "")
+        detail = f"{channel}/{scheme}" if channel else ""
+    return f"{batch.kind}:{detail}" if detail else batch.kind
+
+
+def _run_profile_batched(specs, batch) -> bool:
+    """Profile the first planned batch of ``specs`` under cProfile.
+
+    Prints the batch plan (groups, cells per group) first, so the
+    profile is read in context of what the real sweep would dispatch.
+    Returns ``False`` — caller falls back to single-cell profiling —
+    when batching is off (flag, env, or checked mode) or when the grid
+    plans no batch.
+    """
+    from repro.check import check_rate_from_env
+    from repro.runner.batch import BatchItem, plan_batches, resolve_batch
+    from repro.runner.profiler import profile_batch
+
+    try:
+        batching = resolve_batch(batch)
+    except ValueError as error:
+        sys.exit(f"error: {error}")
+    if not batching or check_rate_from_env() is not None:
+        return False
+    items = plan_batches(specs, range(len(specs)))
+    batches = [item for item in items if isinstance(item, BatchItem)]
+    if not batches:
+        return False
+    batched_cells = sum(len(item.indices) for item in batches)
+    print(f"batch plan: {len(batches)} batches covering {batched_cells} of "
+          f"{len(specs)} cells")
+    for item in batches:
+        print(f"  {item.batch.batch_id:4s} {_batch_label(item.batch):28s} "
+              f"{len(item.indices):3d} cells")
+    first = batches[0]
+    print(f"\nprofiling batch {first.batch.batch_id} "
+          f"({len(first.indices)} cells) under cProfile")
+    _results, report = profile_batch(first.batch)
+    print(report)
+    return True
+
+
 def _resolve_jobs_or_exit(jobs):
     """CLI-friendly job resolution: a bad ``--jobs`` / ``REPRO_JOBS``
     is a usage error, not a traceback."""
@@ -177,6 +237,10 @@ def _print_run_stats(stats: dict, jobs: int, resume: bool = False) -> None:
         print(f"resumed: {stats.get('result_cache_hits', 0):.0f} cells "
               f"restored from checkpoints, "
               f"{stats.get('result_cache_misses', 0):.0f} recomputed")
+    if stats.get("batches", 0):
+        print(f"batched: {stats.get('batches', 0):.0f} batches covering "
+              f"{stats.get('batched_cells', 0):.0f} cells, "
+              f"{stats.get('decode_reuse_hits', 0):.0f} decode reuses")
     supervision = {name: stats.get(name, 0)
                    for name in ("retries", "timeouts", "pool_restarts",
                                 "inline_fallback")}
@@ -203,13 +267,15 @@ def sweep(args: argparse.Namespace) -> None:
     _apply_check_mode(args.check)
     _validate_cache_env()
     if args.profile:
-        _run_profile(_sweep_profile_spec(args))
+        grid = _profile_grid_specs(args)
+        if grid is None or not _run_profile_batched(grid, args.batch):
+            _run_profile(_sweep_profile_spec(args))
         return
     _check_resume(args.resume)
     jobs = _resolve_jobs_or_exit(args.jobs)
     print(f"sweep {args.figure}: {SWEEPS[args.figure]} "
           f"(jobs={jobs}, seed={args.seed})")
-    with run_context(telemetry=args.telemetry or None):
+    with run_context(telemetry=args.telemetry or None, batch=args.batch):
         if args.figure == "fig6":
             points = figure6(message_kb=args.message_kb, seed=args.seed,
                              jobs=jobs)
@@ -286,11 +352,12 @@ def leakage(args: argparse.Namespace) -> None:
         grid_kwargs["curve_repeats"] = 100
     specs = leakage_grid(**grid_kwargs)
     if args.profile:
-        _run_profile(specs[0])
+        if not _run_profile_batched(specs, args.batch):
+            _run_profile(specs[0])
         return
     print(f"leakage sweep: {len(specs)} cells "
           f"(jobs={jobs}, seed={args.seed}, seeds={args.seeds})")
-    with run_context(telemetry=args.telemetry or None):
+    with run_context(telemetry=args.telemetry or None, batch=args.batch):
         results = run_leakage_sweep(specs, jobs=jobs)
     print(format_leakage_table(results))
 
@@ -376,10 +443,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "the invariant sanitizer and differential oracle, "
                     "validating every RATE accesses (default 1024); "
                     "exports REPRO_CHECK to worker processes")
+    sp.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                    default=None,
+                    help="batch compatible cells so one trace decode "
+                    "serves a whole group (default: on, or REPRO_BATCH); "
+                    "results are bit-identical either way")
     sp.add_argument("--profile", action="store_true",
-                    help="run ONE representative cell under cProfile and "
-                    "print the top-20 cumulative hotspots instead of "
-                    "running the sweep")
+                    help="run ONE representative cell (or, when the sweep "
+                    "batches, its first batch) under cProfile and print "
+                    "the top-20 cumulative hotspots instead of running "
+                    "the sweep")
     lp = sub.add_parser(
         "leakage", help="run the unified leakage sweep (MI, guessing "
         "entropy, success-rate curves per scheme x window x seed)")
@@ -414,8 +487,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="resume an interrupted sweep: recompute only the "
                     "cells missing from the result-cache checkpoints and "
                     "report how many were restored")
+    lp.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                    default=None,
+                    help="batch compatible cells into one work item per "
+                    "group (default: on, or REPRO_BATCH); results are "
+                    "bit-identical either way")
     lp.add_argument("--profile", action="store_true",
-                    help="run ONE grid cell under cProfile and print the "
+                    help="run ONE grid cell (or, when the sweep batches, "
+                    "its first batch) under cProfile and print the "
                     "top-20 cumulative hotspots instead of the sweep")
     cp = sub.add_parser(
         "cache", help="inspect or clear the on-disk trace/result caches")

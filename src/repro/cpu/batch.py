@@ -1,0 +1,190 @@
+"""Shared-state lowering for batched cell execution.
+
+A Figure-10-style sweep runs many cells that differ only in window,
+seed knob, or scheme while replaying the *same* trace through the same
+cache geometry.  The per-cell path re-derives the decode columns and
+re-warms the L2 for every one of them; this module computes that shared
+work once per batch group and lowers each eligible cell onto the flat
+kernel (:func:`repro.cpu.timing.run_flat_general`):
+
+* :class:`GeneralGroupState` — the per-(trace, config, warm) inputs:
+  decoded line/step columns of the measured slice and the warmed L2
+  contents as plain int lists (copied per cell, the copy is cheap),
+* :func:`run_batched_cell` — build the cell's scheme, check that it is
+  exactly the stock set-associative/LRU configuration the flat kernel
+  transcribes, pregenerate its random-fill draw row from its own
+  derived RNG stream, and run.  Anything else returns ``None`` and the
+  caller falls back to :func:`repro.runner.cells.run_cell`.
+
+Results are bit-identical to the per-cell path: the kernel is an exact
+transcription of the fused kernel plus settle, the warm replay mirrors
+``warm_l2``, and the draw row reproduces the scalar ``draw()`` stream
+(:meth:`repro.util.rng.HardwareRng.pregenerate`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.controller import DemandFetchPolicy
+from repro.cache.l2 import L2Cache
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.policy import RandomFillPolicy
+from repro.cpu.timing import SimResult, run_flat_general
+from repro.cpu.trace import Trace
+from repro.memory.dram import DramModel
+
+#: thread whose window registers drive a batched run (the timing model's
+#: default context)
+_THREAD_ID = 0
+
+
+class GeneralGroupState:
+    """Shared inputs of one batch group: decode columns + warm L2 state.
+
+    Built once per (trace, config, warm) group; every cell of the group
+    reads the same column lists (never mutated) and receives its own
+    copy of the warmed L2 sets (mutated by its kernel run).
+    """
+
+    __slots__ = ("config", "lines", "steps", "instructions",
+                 "l2_num_sets", "l2_assoc", "_warm_l2_sets")
+
+    def __init__(self, trace: Trace, config, warm: bool):
+        self.config = config
+        line_shift = config.line_size.bit_length() - 1
+        if warm:
+            # Warm on the first half, measure the second — the same
+            # split (and the same memoized slice/decode objects) as
+            # run_general_workload.
+            split = len(trace) // 2
+            footprint = trace.decoded(line_shift).warm_footprint(split)
+            measured = trace[split:]
+        else:
+            footprint = ()
+            measured = trace
+        decode = measured.decoded(line_shift)
+        self.lines: List[int] = decode.lines_list()
+        self.steps: List[int] = decode.issue_steps(config.issue_width)
+        self.instructions: int = measured.instruction_count
+        self.l2_num_sets = (config.l2_size // config.line_size) \
+            // config.l2_assoc
+        self.l2_assoc = config.l2_assoc
+        # Flat replay of warm_l2: access-or-fill per footprint line on
+        # MRU-first int lists (hits move to front, fills evict the LRU
+        # tail), matching SetAssociativeCache under LRU exactly.
+        l2_mask = self.l2_num_sets - 1
+        l2_assoc = self.l2_assoc
+        sets: List[List[int]] = [[] for _ in range(self.l2_num_sets)]
+        for line in footprint:
+            cache_set = sets[line & l2_mask]
+            if line in cache_set:
+                if cache_set[0] != line:
+                    cache_set.remove(line)
+                    cache_set.insert(0, line)
+            else:
+                if len(cache_set) >= l2_assoc:
+                    cache_set.pop()
+                cache_set.insert(0, line)
+        self._warm_l2_sets = sets
+
+    def l2_sets_copy(self) -> List[List[int]]:
+        """A fresh mutable copy of the warmed L2 contents."""
+        return [list(cache_set) for cache_set in self._warm_l2_sets]
+
+
+def group_state_for(spec) -> GeneralGroupState:
+    """Build the shared state for a batch group from one member spec."""
+    from repro.workloads.cache import cached_workload
+    trace = cached_workload(spec.benchmark, n_refs=spec.n_refs,
+                            seed=spec.seed)
+    return GeneralGroupState(trace, spec.config, spec.warm)
+
+
+def run_batched_cell(spec, group: GeneralGroupState) -> Optional[SimResult]:
+    """Run one cell through the flat kernel, or ``None`` if ineligible.
+
+    The cell's scheme is built exactly as ``run_general_workload``
+    builds it (same ``build_scheme`` seed derivation, same ``set_rr``),
+    then lowered: only the stock set-associative/LRU L1 and L2 with a
+    demand-fetch or power-of-two random-fill policy qualify — the same
+    configurations the fused kernel covers, minus the non-power-of-two
+    windows that draw via ``draw_below``.  An ineligible cell returns
+    ``None`` and the caller runs it per-cell inside the batch.
+    """
+    from repro.experiments.schemes import build_scheme
+    from repro.runner.cells import CellSpec
+
+    if not isinstance(spec, CellSpec) or spec.kind != "general":
+        return None
+    if spec.config != group.config:
+        return None
+    scheme = build_scheme(spec.scheme, spec.config, seed=spec.seed)
+    window = spec.window if spec.window is not None else (0, 0)
+    if scheme.os is not None:
+        scheme.os.set_rr(*window)
+
+    l1 = scheme.l1
+    tag = l1.tag_store
+    if type(tag) is not SetAssociativeCache \
+            or not (tag._lru_hits and tag._mru_fills and tag._max_victims) \
+            or l1._policy_bypasses or l1._policy_on_hit is not None:
+        return None
+    l2 = l1.next_level
+    if type(l2) is not L2Cache:
+        return None
+    l2_tag = l2.tag_store
+    if type(l2_tag) is not SetAssociativeCache \
+            or not (l2_tag._lru_hits and l2_tag._mru_fills
+                    and l2_tag._max_victims) \
+            or l2_tag._set_mask + 1 != group.l2_num_sets \
+            or l2_tag.associativity != group.l2_assoc:
+        return None
+    dram = l2.dram
+    if type(dram) is not DramModel:
+        return None
+    # The kernel starts from empty in-flight/warm state; a freshly
+    # built scheme always satisfies this.
+    if len(l1.miss_queue) or l1.fill_queue or dram._open_row \
+            or dram._bank_free_at:
+        return None
+
+    policy = l1._policy
+    policy_kind = 1
+    rf_a = rf_mask = 0
+    draws: List[int] = ()
+    if type(policy) is RandomFillPolicy:
+        engine = policy.engine
+        rf_window = engine.window_for(_THREAD_ID)
+        if not (rf_window.a == 0 and rf_window.b == 0):
+            rf_a, rf_mask, _size = engine._params[_THREAD_ID]
+            if rf_mask is None:
+                return None          # non-power-of-two: draw_below path
+            policy_kind = 2
+            # One raw draw per demand miss; one per record is always
+            # enough.  The row comes from this cell's own derived RNG
+            # stream and reproduces scalar draw() bit-exactly.
+            draws = engine._rng.pregenerate(len(group.lines))
+    elif type(policy) is not DemandFetchPolicy:
+        return None
+
+    cfg = dram.config
+    dram_params = (
+        cfg.row_size_bytes // cfg.line_size, cfg.num_banks,
+        cfg.row_hit_latency, cfg.row_miss_latency,
+        cfg.t_burst, cfg.t_rp + cfg.t_rcd + cfg.t_burst,
+    )
+    config = spec.config
+    return run_flat_general(
+        group.lines, group.steps, group.instructions,
+        l1_num_sets=tag._set_mask + 1, l1_assoc=tag.associativity,
+        l2_sets=group.l2_sets_copy(), l2_num_sets=group.l2_num_sets,
+        l2_assoc=group.l2_assoc, l2_hit_latency=l2.hit_latency,
+        mq_capacity=l1.miss_queue.capacity, fill_reserve=l1.fill_reserve,
+        fill_queue_capacity=l1.fill_queue_capacity,
+        hit_cost=l1.hit_latency,
+        mlp=max(1, l1.miss_queue.capacity // 2),
+        credit=config.overlap_credit,
+        policy_kind=policy_kind, rf_a=rf_a, rf_mask=rf_mask, draws=draws,
+        dram=dram_params,
+    )

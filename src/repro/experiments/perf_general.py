@@ -174,6 +174,21 @@ def run_general_workload(benchmark: str, window: Tuple[int, int],
     return timing.run(trace)
 
 
+def figure10_specs(benchmarks: Sequence[str] = FIGURE10_ORDER,
+                   windows: Sequence[Tuple[int, int]] = FIGURE10_WINDOWS,
+                   config: SimulatorConfig = BASELINE_CONFIG,
+                   n_refs: int = 100_000,
+                   seed: int = 0) -> List[CellSpec]:
+    """The Figure 10 cell grid in sweep order (benchmark-major).
+
+    Shared by :func:`figure10` and the CLI's batch-aware ``--profile``,
+    which plans these specs into batches and profiles the first one.
+    """
+    return [CellSpec(kind="general", benchmark=benchmark, window=window,
+                     n_refs=n_refs, seed=seed, config=config)
+            for benchmark in benchmarks for window in windows]
+
+
 def figure10(benchmarks: Sequence[str] = FIGURE10_ORDER,
              windows: Sequence[Tuple[int, int]] = FIGURE10_WINDOWS,
              config: SimulatorConfig = BASELINE_CONFIG,
@@ -186,9 +201,8 @@ def figure10(benchmarks: Sequence[str] = FIGURE10_ORDER,
     results are regrouped in sweep order, so the output is identical to
     the sequential nested loop for any ``jobs``.
     """
-    specs = [CellSpec(kind="general", benchmark=benchmark, window=window,
-                      n_refs=n_refs, seed=seed, config=config)
-             for benchmark in benchmarks for window in windows]
+    specs = figure10_specs(benchmarks, windows, config=config,
+                           n_refs=n_refs, seed=seed)
     results = iter(run_cells(specs, jobs=jobs))
     points: List[GeneralPerfPoint] = []
     for benchmark in benchmarks:

@@ -103,6 +103,17 @@ class LeakageCellSpec:
         not on the trace generators)."""
         return f"leakage{LEAKAGE_CODE_VERSION}"
 
+    def batch_group_key(self):
+        """Grouping key for the batch planner (dispatch-unit batches).
+
+        Leakage cells share no heavy per-group state, but cells of one
+        (channel, scheme) pair are cheap-per-cell and numerous, so
+        shipping them to a worker as one batch amortizes the dispatch,
+        pickle, and telemetry round trips.  Each cell still runs its
+        own independent RNG streams inside the batch.
+        """
+        return ("leakage", self.channel, self.scheme)
+
     # -- execution --------------------------------------------------------
 
     def run(self) -> "LeakageCellResult":
@@ -271,15 +282,17 @@ def run_leakage_sweep(specs: Sequence[LeakageCellSpec],
                       jobs: Optional[int] = None,
                       telemetry=None,
                       progress: Optional[bool] = None,
+                      batch: Optional[bool] = None,
                       ) -> List[LeakageCellResult]:
     """Run a grid of leakage cells through the supervised runner.
 
     ``telemetry`` (a :class:`repro.runner.telemetry.Telemetry` or a
-    JSONL path) and ``progress`` are forwarded to
+    JSONL path), ``progress`` and ``batch`` are forwarded to
     :func:`repro.runner.pool.run_cells`; when ``None`` they inherit the
     enclosing :func:`repro.runner.pool.run_context`, which is how the
-    ``--telemetry`` CLI flag reaches this sweep.
+    ``--telemetry`` (and ``--batch/--no-batch``) CLI flags reach this
+    sweep.
     """
     from repro.runner.pool import run_cells
     return run_cells(specs, jobs=jobs, telemetry=telemetry,
-                     progress=progress)
+                     progress=progress, batch=batch)

@@ -12,6 +12,11 @@ This package turns a figure sweep into an explicit list of picklable
   ``REPRO_CELL_TIMEOUT`` enforcement, crash recovery with pool
   restarts and inline fallback) plus the ``REPRO_JOBS`` /
   ``REPRO_CELL_RETRIES`` knobs,
+* :mod:`repro.runner.batch` — batch planning and execution: pending
+  cells sharing a ``batch_group_key()`` are grouped so one trace
+  decode serves the whole group (``--batch/--no-batch``,
+  ``REPRO_BATCH``); a failed batch splits back to supervised per-cell
+  retries,
 * :mod:`repro.runner.telemetry` — JSONL event log of a run (cell
   start/finish/retry/timeout, pool restarts) and the live progress
   line behind ``--telemetry`` / the CLI,
@@ -29,6 +34,13 @@ whether it runs inline, across 2 workers, or across 32 — and the result
 cache can key a cell's result on a fingerprint of spec + code versions.
 """
 
+from repro.runner.batch import (
+    BatchItem,
+    CellBatch,
+    plan_batches,
+    resolve_batch,
+    run_batch,
+)
 from repro.runner.cells import CellSpec, run_cell
 from repro.runner.pool import (
     CellTimeoutError,
@@ -39,24 +51,30 @@ from repro.runner.pool import (
     run_cells,
     run_context,
 )
-from repro.runner.profiler import profile_cell
+from repro.runner.profiler import profile_batch, profile_cell
 from repro.runner.report import record_bench
 from repro.runner.result_cache import RESULT_CACHE, ResultCache
 from repro.runner.telemetry import Telemetry, read_events
 
 __all__ = [
+    "BatchItem",
+    "CellBatch",
     "CellSpec",
     "CellTimeoutError",
     "RESULT_CACHE",
     "ResultCache",
     "Telemetry",
     "last_run_stats",
+    "plan_batches",
+    "profile_batch",
     "profile_cell",
     "read_events",
     "record_bench",
+    "resolve_batch",
     "resolve_cell_retries",
     "resolve_cell_timeout",
     "resolve_jobs",
+    "run_batch",
     "run_cell",
     "run_cells",
     "run_context",

@@ -1,0 +1,200 @@
+"""Batch planning and execution for the supervised runner.
+
+``run_cells`` plans its *pending* (cache-missed) cells into batches:
+cells whose specs report the same ``batch_group_key()`` share per-group
+work — for general-perf cells one trace decode and one L2 warm replay
+(:mod:`repro.cpu.batch`), for leakage cells the dispatch overhead — and
+a batch is the unit submitted to a worker.  Supervision semantics are
+preserved by construction: a batch that fails, hangs, or dies with its
+pool is *split* and its member cells requeued individually, where the
+ordinary per-cell retry/timeout machinery applies; each finished cell
+still lands in the result cache one by one.
+
+Batching is on by default and controlled by ``--batch/--no-batch`` or
+``REPRO_BATCH`` (:func:`resolve_batch`); checked mode (``REPRO_CHECK``)
+disables planning entirely so every cell takes the per-cell oracle
+path.  Results are bit-identical with batching on or off, for any jobs
+count, because the batched kernel is exact and chunk boundaries carry
+no state between cells.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cells import run_cell
+from repro.runner.telemetry import worker_meta
+
+#: smallest group worth batching — a singleton is just a cell
+MIN_BATCH = 2
+
+#: largest batch submitted as one work item; bounds the blast radius of
+#: a split (one bad cell re-runs at most this many siblings' dispatch)
+#: and keeps per-batch timeouts meaningful
+MAX_BATCH = 32
+
+#: ``REPRO_BATCH`` values that disable / enable batching
+_FALSE_VALUES = frozenset({"0", "off", "no", "false"})
+_TRUE_VALUES = frozenset({"1", "on", "yes", "true"})
+
+
+def resolve_batch(batch: Optional[bool] = None) -> bool:
+    """Batching switch: argument > ``REPRO_BATCH`` > on."""
+    if batch is not None:
+        return bool(batch)
+    env = os.environ.get("REPRO_BATCH", "").strip().lower()
+    if not env:
+        return True
+    if env in _FALSE_VALUES:
+        return False
+    if env in _TRUE_VALUES:
+        return True
+    raise ValueError(
+        f"REPRO_BATCH must be a boolean flag (1/0/on/off/yes/no), "
+        f"got {env!r}")
+
+
+class CellBatch:
+    """A picklable group of compatible cell specs, dispatched as one.
+
+    ``kind`` is the first element of the members' shared group key:
+    ``"general"`` batches share trace decode + warm L2 state through
+    the flat kernel; any other kind only amortizes dispatch.
+    """
+
+    __slots__ = ("batch_id", "kind", "cells")
+
+    def __init__(self, batch_id: str, kind: str, cells: Tuple):
+        self.batch_id = batch_id
+        self.kind = kind
+        self.cells = cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CellBatch({self.batch_id!r}, kind={self.kind!r}, "
+                f"cells={len(self.cells)})")
+
+
+class BatchItem:
+    """One batched work-queue entry: the member indices + their batch."""
+
+    __slots__ = ("indices", "batch")
+
+    def __init__(self, indices: Tuple[int, ...], batch: CellBatch):
+        self.indices = indices
+        self.batch = batch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatchItem({self.batch.batch_id!r}, indices={self.indices})"
+
+
+def plan_batches(specs: Sequence, pending: Sequence[int],
+                 jobs: int = 1) -> List:
+    """Group pending cell indices into a work list.
+
+    Returns a list of plain ``int`` indices (unbatched cells) and
+    :class:`BatchItem` entries, ordered by each item's first index so
+    sequential execution keeps sweep order.  Only specs exposing
+    ``batch_group_key()`` (returning a hashable key, or ``None`` to
+    opt out) are grouped; group keys are compared between *pending*
+    cells only — fully cached cells were short-circuited before
+    planning and never reach here.
+
+    With ``jobs`` workers the batch size is additionally capped at
+    ``ceil(pending / jobs)`` so a small grid still spreads across the
+    pool; at high jobs counts this degrades gracefully toward per-cell
+    dispatch without affecting results.
+    """
+    groups: "Dict[object, List[int]]" = {}
+    singles: List[int] = []
+    for index in pending:
+        key_of = getattr(specs[index], "batch_group_key", None)
+        key = key_of() if key_of is not None else None
+        if key is None:
+            singles.append(index)
+            continue
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [index]
+        else:
+            bucket.append(index)
+
+    max_batch = MAX_BATCH
+    if jobs > 1:
+        max_batch = max(1, min(max_batch, -(-len(pending) // jobs)))
+
+    items: List = list(singles)
+    sequence = 0
+    for key, indices in groups.items():
+        for start in range(0, len(indices), max_batch):
+            chunk = indices[start:start + max_batch]
+            if len(chunk) < MIN_BATCH:
+                items.extend(chunk)
+                continue
+            kind = str(key[0]) if isinstance(key, tuple) and key \
+                else str(key)
+            batch = CellBatch(batch_id=f"b{sequence}", kind=kind,
+                              cells=tuple(specs[i] for i in chunk))
+            items.append(BatchItem(tuple(chunk), batch))
+            sequence += 1
+    items.sort(key=_first_index)
+    return items
+
+
+def _first_index(item) -> int:
+    return item.indices[0] if type(item) is BatchItem else item
+
+
+def run_batch(batch: CellBatch):
+    """Worker entry point: run every cell of a batch in-process.
+
+    Returns ``(results, metas, batch_meta)`` with one result + meta per
+    cell in batch order.  ``"general"`` batches build the shared group
+    state once and run each cell through the flat kernel; cells the
+    kernel does not cover — and every cell when ``REPRO_CHECK`` is
+    active, as a belt-and-braces guard (the parent already skips
+    planning under checked mode) — fall back to :func:`run_cell`
+    individually inside the batch.  Any exception propagates whole:
+    the supervisor splits the batch and retries the cells one by one.
+    """
+    from repro.check import check_rate_from_env, check_totals
+
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        checked = check_rate_from_env() is not None
+        shared = None
+        if batch.kind == "general" and not checked:
+            from repro.cpu.batch import group_state_for
+            shared = group_state_for(batch.cells[0])
+        results = []
+        metas = []
+        kernel_cells = 0
+        checks_before = check_totals()["checks_run"]
+        for spec in batch.cells:
+            started = time.perf_counter()
+            result = None
+            if shared is not None:
+                from repro.cpu.batch import run_batched_cell
+                result = run_batched_cell(spec, shared)
+            amortized = result is not None
+            if result is None:
+                result = run_cell(spec)
+            kernel_cells += amortized
+            meta = worker_meta(time.perf_counter() - started)
+            meta["batch_amortized_decode"] = amortized
+            results.append(result)
+            metas.append(meta)
+        batch_meta = {"decode_reuses": max(0, kernel_cells - 1)}
+        checks_run = check_totals()["checks_run"] - checks_before
+        if checks_run:
+            batch_meta["checks_run"] = checks_run
+        return results, metas, batch_meta
+    finally:
+        if was_enabled:
+            gc.enable()

@@ -68,6 +68,21 @@ class CellSpec:
         from repro.workloads.spec import GENERATOR_VERSION
         return f"gen{GENERATOR_VERSION}|aes{AES_TRACE_VERSION}"
 
+    def batch_group_key(self):
+        """Grouping key for the batch planner, or ``None`` to opt out.
+
+        General-perf cells sharing a trace (benchmark, length, seed)
+        and geometry (config, warm split) can share one decode and one
+        L2 warm replay, whatever their scheme or window — scheme
+        eligibility is decided per cell inside the batch.  The key is a
+        pure function of spec fields: no trace is loaded at planning
+        time, so a fully cached grid never touches the workload cache.
+        """
+        if self.kind != "general":
+            return None
+        return ("general", self.benchmark, self.n_refs, self.seed,
+                self.warm, self.config)
+
 
 def run_cell(spec):
     """Execute one cell; the result type depends on the spec.

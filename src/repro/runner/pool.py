@@ -22,6 +22,15 @@ cache *as it lands*, so an interrupted sweep re-run recomputes only the
 cells that had not finished.  Results are bit-identical with the cache
 on or off and for any job count.
 
+Pending cells that share a ``batch_group_key()`` are additionally
+planned into **batches** (:mod:`repro.runner.batch`) — groups that
+share one trace decode and warm L2 replay through the flat kernel and
+are dispatched to a worker as one unit.  A failed, hung, or crashed
+batch is split and its cells retried individually; ``--no-batch`` /
+``REPRO_BATCH=0`` disables planning, and ``REPRO_CHECK`` always forces
+the per-cell path.  Batched results are bit-identical to per-cell
+results.
+
 The pool mode is supervised rather than a bare ``Executor.map``:
 
 * each cell gets its own future, dispatched with at most ``jobs`` in
@@ -60,7 +69,13 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.check import CheckViolation, check_totals
+from repro.check import CheckViolation, check_rate_from_env, check_totals
+from repro.runner.batch import (
+    BatchItem,
+    plan_batches,
+    resolve_batch,
+    run_batch,
+)
 from repro.runner.cells import run_cell
 from repro.runner.result_cache import RESULT_CACHE, ResultCache
 from repro.runner.telemetry import Telemetry, worker_meta
@@ -153,24 +168,27 @@ def _run_cell_task(spec):
 # -- run-wide defaults (CLI surface) -----------------------------------------
 
 _RUN_DEFAULTS: Dict[str, Optional[object]] = {
-    "telemetry": None, "progress": None,
+    "telemetry": None, "progress": None, "batch": None,
 }
 
 
 @contextmanager
 def run_context(telemetry: Union[Telemetry, str, None] = None,
-                progress: Optional[bool] = None):
-    """Scope default telemetry/progress for nested ``run_cells`` calls.
+                progress: Optional[bool] = None,
+                batch: Optional[bool] = None):
+    """Scope default telemetry/progress/batching for nested
+    ``run_cells`` calls.
 
     The CLI wraps a whole figure sweep in this so ``--telemetry PATH``
-    reaches the ``run_cells`` buried inside the experiment modules
-    without threading a parameter through every signature.
+    (and ``--batch/--no-batch``) reaches the ``run_cells`` buried
+    inside the experiment modules without threading a parameter through
+    every signature.
     """
     saved = dict(_RUN_DEFAULTS)
     owned = None
     if isinstance(telemetry, str):
         telemetry = owned = Telemetry(path=telemetry, progress=progress)
-    _RUN_DEFAULTS.update(telemetry=telemetry, progress=progress)
+    _RUN_DEFAULTS.update(telemetry=telemetry, progress=progress, batch=batch)
     try:
         yield telemetry
     finally:
@@ -207,7 +225,8 @@ class _Supervisor:
         self.latencies: List[float] = []
         self.counters = dict(retries=0, timeouts=0, pool_restarts=0,
                              inline_fallback=0, checks_run=0,
-                             check_violations=0)
+                             check_violations=0, batches=0, batched_cells=0,
+                             decode_reuse_hits=0)
 
     def note_cached(self, index: int) -> None:
         self.done += 1
@@ -247,6 +266,45 @@ class _Supervisor:
                             error=repr(error))
         return True
 
+    def on_batch_result(self, item: BatchItem, payload) -> None:
+        """Record one finished batch: per-cell results plus counters."""
+        results, metas, batch_meta = payload
+        self.counters["batches"] += 1
+        self.counters["batched_cells"] += len(item.indices)
+        self.counters["decode_reuse_hits"] += batch_meta.get(
+            "decode_reuses", 0)
+        batch = item.batch
+        self.telemetry.emit("batch_finish", batch_id=batch.batch_id,
+                            size=len(item.indices),
+                            decode_reuses=batch_meta.get("decode_reuses", 0))
+        for index, result, meta in zip(item.indices, results, metas):
+            meta["batch_id"] = batch.batch_id
+            meta["batch_size"] = len(item.indices)
+            if "checks_run" in batch_meta:
+                # Checked batches (defensive fallback path) account
+                # their checks once, on the first member's meta.
+                meta["checks_run"] = batch_meta.pop("checks_run")
+            self.on_result(index, result, meta)
+
+    def on_batch_split(self, item: BatchItem, reason: str,
+                       error: Optional[BaseException] = None) -> None:
+        """Report that a batch is dissolving into per-cell retries.
+
+        The split itself is the mitigation, so member cells are *not*
+        charged an attempt here — a deterministic failer then exhausts
+        its ordinary per-cell retries, while its innocent siblings
+        complete individually.
+        """
+        self.telemetry.emit("batch_split", batch_id=item.batch.batch_id,
+                            cells=list(item.indices), reason=reason,
+                            error=repr(error) if error is not None else None)
+
+    def on_batch_timeout(self, item: BatchItem) -> None:
+        self.counters["timeouts"] += 1
+        self.telemetry.emit("batch_timeout", batch_id=item.batch.batch_id,
+                            cells=list(item.indices),
+                            timeout_s=self.timeout * len(item.indices))
+
     def on_timeout(self, index: int) -> bool:
         """Count one timed-out attempt; True if the cell may be retried."""
         attempt = self.attempts.get(index, 0) + 1
@@ -263,9 +321,21 @@ class _Supervisor:
         time.sleep(_RETRY_BACKOFF_S * (2 ** (self.attempts[index] - 1)))
 
 
-def _run_inline(sup: _Supervisor, pending: Sequence[int]) -> None:
+def _run_inline(sup: _Supervisor, pending: Sequence) -> None:
     """Sequential execution with retry (timeouts cannot be enforced)."""
-    for i in pending:
+    for item in pending:
+        if type(item) is BatchItem:
+            sup.telemetry.emit("batch_start", batch_id=item.batch.batch_id,
+                               cells=list(item.indices))
+            try:
+                payload = run_batch(item.batch)
+            except Exception as error:
+                sup.on_batch_split(item, "error", error)
+                _run_inline(sup, list(item.indices))
+                continue
+            sup.on_batch_result(item, payload)
+            continue
+        i = item
         while True:
             sup.telemetry.emit("cell_start", index=i,
                                attempt=sup.attempts.get(i, 0))
@@ -301,13 +371,23 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=True, cancel_futures=True)
 
 
-def _run_supervised(sup: _Supervisor, pending: Sequence[int],
+def _split_to_front(queue: deque, item: BatchItem) -> None:
+    """Requeue a dissolved batch's cells, preserving their order."""
+    for index in reversed(item.indices):
+        queue.appendleft(index)
+
+
+def _run_supervised(sup: _Supervisor, pending: Sequence,
                     jobs: int) -> int:
     """Pool execution with retry, timeout and crash recovery.
 
-    Returns the number of workers actually used.  Falls back to
-    :func:`_run_inline` for whatever is left after the restart budget
-    is exhausted.
+    ``pending`` holds plain cell indices and :class:`BatchItem`
+    entries.  A batch is dispatched as one future with a deadline of
+    ``timeout * len(batch)``; any failure, timeout, or pool loss splits
+    it back into individual indices (never into a batch again), so
+    per-cell retry semantics are preserved.  Returns the number of
+    workers actually used.  Falls back to :func:`_run_inline` for
+    whatever is left after the restart budget is exhausted.
     """
     queue = deque(pending)
     jobs_used = 1
@@ -322,44 +402,61 @@ def _run_supervised(sup: _Supervisor, pending: Sequence[int],
         workers = min(jobs, len(queue))
         jobs_used = max(jobs_used, workers)
         restart_reason = None
-        in_flight: Dict = {}                   # future -> (index, submit time)
+        in_flight: Dict = {}                   # future -> (item, submit time)
         pool = ProcessPoolExecutor(max_workers=workers)
         graceful = False
         try:
             while queue or in_flight:
                 while queue and len(in_flight) < workers:
-                    i = queue.popleft()
-                    sup.telemetry.emit("cell_start", index=i,
-                                       attempt=sup.attempts.get(i, 0))
-                    future = pool.submit(_run_cell_task, sup.specs[i])
-                    in_flight[future] = (i, time.monotonic())
+                    item = queue.popleft()
+                    if type(item) is BatchItem:
+                        sup.telemetry.emit(
+                            "batch_start", batch_id=item.batch.batch_id,
+                            cells=list(item.indices))
+                        future = pool.submit(run_batch, item.batch)
+                    else:
+                        sup.telemetry.emit("cell_start", index=item,
+                                           attempt=sup.attempts.get(item, 0))
+                        future = pool.submit(_run_cell_task, sup.specs[item])
+                    in_flight[future] = (item, time.monotonic())
                 tick = _WAIT_TICK_S if sup.timeout is not None else None
                 finished, _ = wait(set(in_flight), timeout=tick,
                                    return_when=FIRST_COMPLETED)
                 for future in finished:
-                    i, _submitted = in_flight.pop(future)
+                    item, _submitted = in_flight.pop(future)
                     error = future.exception()
                     if error is None:
-                        result, meta = future.result()
-                        sup.on_result(i, result, meta)
+                        if type(item) is BatchItem:
+                            sup.on_batch_result(item, future.result())
+                        else:
+                            result, meta = future.result()
+                            sup.on_result(item, result, meta)
                     elif isinstance(error, BrokenProcessPool):
-                        in_flight[future] = (i, _submitted)
+                        in_flight[future] = (item, _submitted)
                         raise error
+                    elif type(item) is BatchItem:
+                        sup.on_batch_split(item, "error", error)
+                        _split_to_front(queue, item)
                     else:
-                        if not sup.on_failure(i, error):
+                        if not sup.on_failure(item, error):
                             raise error
-                        sup.backoff(i)
-                        queue.append(i)
+                        sup.backoff(item)
+                        queue.append(item)
                 if sup.timeout is not None and in_flight:
                     now = time.monotonic()
-                    expired = [i for future, (i, t0) in in_flight.items()
-                               if now - t0 > sup.timeout
-                               and not future.done()]
+                    expired = [
+                        item for future, (item, t0) in in_flight.items()
+                        if now - t0 > sup.timeout
+                        * (len(item.indices) if type(item) is BatchItem
+                           else 1)
+                        and not future.done()]
                     if expired:
-                        for i in expired:
-                            if not sup.on_timeout(i):
+                        for item in expired:
+                            if type(item) is BatchItem:
+                                sup.on_batch_timeout(item)
+                            elif not sup.on_timeout(item):
                                 raise CellTimeoutError(
-                                    f"cell {i} exceeded its "
+                                    f"cell {item} exceeded its "
                                     f"{sup.timeout}s timeout on every "
                                     f"allowed attempt "
                                     f"(REPRO_CELL_TIMEOUT / "
@@ -373,10 +470,13 @@ def _run_supervised(sup: _Supervisor, pending: Sequence[int],
             # the executor cannot say which: charge them all an attempt
             # so a deterministic killer cell cannot restart the pool
             # forever (the restart budget below is the hard stop).
-            for future, (i, _t0) in in_flight.items():
-                if not (future.done() and not future.cancelled()
-                        and future.exception() is None):
-                    sup.attempts[i] = sup.attempts.get(i, 0) + 1
+            # Batches are not charged — they split in the salvage pass
+            # below, and the killer then pays per-cell attempts.
+            for future, (item, _t0) in in_flight.items():
+                if type(item) is not BatchItem \
+                        and not (future.done() and not future.cancelled()
+                                 and future.exception() is None):
+                    sup.attempts[item] = sup.attempts.get(item, 0) + 1
         finally:
             if graceful:
                 pool.shutdown(wait=True, cancel_futures=True)
@@ -386,14 +486,21 @@ def _run_supervised(sup: _Supervisor, pending: Sequence[int],
                 _kill_pool(pool)
         if restart_reason is not None:
             # Salvage futures that completed before the loss, requeue
-            # everything still unfinished on a fresh pool.
-            for future, (i, _t0) in in_flight.items():
+            # everything still unfinished on a fresh pool (batches are
+            # split: their cells retry individually).
+            for future, (item, _t0) in in_flight.items():
                 if future.done() and not future.cancelled() \
                         and future.exception() is None:
-                    result, meta = future.result()
-                    sup.on_result(i, result, meta)
+                    if type(item) is BatchItem:
+                        sup.on_batch_result(item, future.result())
+                    else:
+                        result, meta = future.result()
+                        sup.on_result(item, result, meta)
+                elif type(item) is BatchItem:
+                    sup.on_batch_split(item, restart_reason)
+                    _split_to_front(queue, item)
                 else:
-                    queue.appendleft(i)
+                    queue.appendleft(item)
             restarts += 1
             sup.counters["pool_restarts"] = restarts
             sup.telemetry.emit("pool_restart", reason=restart_reason,
@@ -407,11 +514,22 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
               timeout: Optional[float] = None,
               retries: Optional[int] = None,
               telemetry: Union[Telemetry, str, None] = None,
-              progress: Optional[bool] = None) -> List:
+              progress: Optional[bool] = None,
+              batch: Optional[bool] = None) -> List:
     """Run every cell; returns results in the order of ``specs``.
 
     Accepts :class:`CellSpec` instances or any other picklable spec
     :func:`run_cell` understands (specs with a ``run()`` method).
+
+    ``batch`` resolves argument > :func:`run_context` default >
+    ``REPRO_BATCH`` > on.  When on, pending cells whose specs share a
+    ``batch_group_key()`` are planned into :class:`CellBatch` work
+    items (:func:`repro.runner.batch.plan_batches`) and dispatched as
+    units; results are bit-identical either way.  Planning happens
+    *after* the per-cell result-cache check, so a fully cached grid
+    never plans a batch or touches a trace, and it is skipped entirely
+    under ``REPRO_CHECK`` so checked runs take the per-cell oracle
+    path.
 
     ``jobs`` follows :func:`resolve_jobs`; ``timeout`` and ``retries``
     follow :func:`resolve_cell_timeout` / :func:`resolve_cell_retries`
@@ -460,14 +578,13 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
     try:
         cached_indices: List[int] = []
         for i, spec in enumerate(specs):
-            fingerprint = cache.fingerprint(spec) if cache.enabled else None
+            fingerprint, cached = cache.lookup_spec(spec)
             if fingerprint is None:
                 if not hasattr(spec, "result_cache_token"):
                     uncacheable += 1
                 pending.append(i)
                 continue
             fingerprints[i] = fingerprint
-            cached = cache.load(fingerprint)
             if cached is not None:
                 results[i] = cached
                 cache_hits += 1
@@ -476,10 +593,21 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
             cache_misses += 1
             pending.append(i)
 
+        if batch is None:
+            batch = _RUN_DEFAULTS["batch"]
+        batching = resolve_batch(batch)
+        work: List = list(pending)
+        planned_batches = 0
+        if batching and len(pending) > 1 \
+                and check_rate_from_env() is None:
+            work = plan_batches(specs, pending, jobs=jobs)
+            planned_batches = sum(
+                1 for item in work if type(item) is BatchItem)
+
         telemetry.emit(
             "run_start", cells=total, pending=len(pending),
             cached=cache_hits, jobs=jobs, timeout_s=timeout,
-            retries=retries,
+            retries=retries, batches=planned_batches,
             python=".".join(map(str, sys.version_info[:3])),
             pid=os.getpid())
         for i in cached_indices:
@@ -488,14 +616,14 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
         jobs_used = 1
         try:
             if pending:
-                # A single pending cell still goes through the pool when
-                # a timeout is requested: inline execution cannot
-                # preempt it.
-                inline = jobs == 1 or (len(pending) == 1 and timeout is None)
+                # A single pending work item still goes through the
+                # pool when a timeout is requested: inline execution
+                # cannot preempt it.
+                inline = jobs == 1 or (len(work) == 1 and timeout is None)
                 if inline:
-                    _run_inline(sup, pending)
+                    _run_inline(sup, work)
                 else:
-                    jobs_used = _run_supervised(sup, pending, jobs)
+                    jobs_used = _run_supervised(sup, work, jobs)
         finally:
             # Recorded even when the run dies (e.g. a CheckViolation):
             # last_run_stats still reports what was counted up to the
@@ -515,6 +643,9 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
                 inline_fallback=sup.counters["inline_fallback"],
                 checks_run=sup.counters["checks_run"],
                 violations=sup.counters["check_violations"],
+                batches=sup.counters["batches"],
+                batched_cells=sup.counters["batched_cells"],
+                decode_reuse_hits=sup.counters["decode_reuse_hits"],
                 latency_p50_s=_percentile(ordered, 0.50) if ordered else 0.0,
                 latency_p95_s=_percentile(ordered, 0.95) if ordered else 0.0)
         telemetry.emit("run_finish", **_LAST_RUN)

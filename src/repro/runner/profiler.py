@@ -7,7 +7,10 @@ the sweep grid under :mod:`cProfile` and prints the top cumulative
 hotspots instead of running the sweep.
 
 The cell executes inline (no worker pool, result cache bypassed) so the
-profile shows simulation cost, not IPC overhead or a cache hit.
+profile shows simulation cost, not IPC overhead or a cache hit.  When
+the sweep would run batched, the CLI profiles the first *batch* instead
+(:func:`profile_batch`) so the report reflects the shared-decode flat
+kernel the real run uses.
 """
 
 from __future__ import annotations
@@ -43,3 +46,29 @@ def profile_cell(spec, top: int = DEFAULT_TOP,
     if stream is not None:
         stream.write(report)
     return result, report
+
+
+def profile_batch(batch, top: int = DEFAULT_TOP,
+                  stream: Optional[io.TextIOBase] = None):
+    """Run one :class:`~repro.runner.batch.CellBatch` under cProfile.
+
+    Returns ``(results, report_text)`` with one result per member cell;
+    the profile covers the shared group-state build (trace decode, warm
+    replay) plus every cell's kernel run, i.e. exactly what a worker
+    does for one batched work item.
+    """
+    from repro.runner.batch import run_batch
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        results, _metas, _batch_meta = run_batch(batch)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    report = buffer.getvalue()
+    if stream is not None:
+        stream.write(report)
+    return results, report

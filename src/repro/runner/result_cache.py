@@ -91,6 +91,22 @@ class ResultCache:
     def _path_for(self, fingerprint: str) -> str:
         return os.path.join(self.disk_dir, f"{fingerprint}.result")
 
+    def lookup_spec(self, spec):
+        """``(fingerprint, cached_result)`` for one spec in one call.
+
+        The runner's pre-dispatch sweep uses this per cell *before* any
+        batch planning: a spec that does not opt into caching returns
+        ``(None, None)``; a stored result returns its fingerprint and
+        the result; a miss returns the fingerprint alone.  Keying and
+        lookup are pure functions of the spec value — no trace, decode,
+        or scheme state is touched — which is what lets a fully cached
+        grid short-circuit without ever planning a batch.
+        """
+        fingerprint = self.fingerprint(spec) if self.enabled else None
+        if fingerprint is None:
+            return None, None
+        return fingerprint, self.load(fingerprint)
+
     # -- state ---------------------------------------------------------------
 
     @property

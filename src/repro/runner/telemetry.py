@@ -12,9 +12,23 @@ vocabulary:
 * ``cell_start``   — a cell dispatched to a worker (or inline), with
   its attempt number;
 * ``cell_finish``  — a cell completed: wall seconds, worker pid,
-  worker max-RSS in KB;
+  worker max-RSS in KB; cells that ran inside a batch additionally
+  carry ``batch_id``, ``batch_size`` and ``batch_amortized_decode``
+  (whether the cell went through the shared-decode flat kernel rather
+  than the per-cell fallback inside its batch);
 * ``cell_retry``   — an attempt raised and the cell was requeued;
 * ``cell_timeout`` — an attempt exceeded ``REPRO_CELL_TIMEOUT``;
+* ``batch_start``  — a planned batch dispatched as one work item:
+  batch id, cell indices, size;
+* ``batch_finish`` — every cell of a batch completed: batch id, size,
+  ``decode_reuses`` (cells beyond the first that shared the group's
+  trace decode);
+* ``batch_split``  — a batch failed (worker exception or lost pool)
+  and its member cells were requeued individually, with the reason and
+  the error repr; the split itself charges no per-cell attempts — the
+  ordinary retry machinery takes over per cell;
+* ``batch_timeout`` — a batch exceeded its deadline (per-cell timeout
+  x batch size) and was split after the pool restart;
 * ``check_violation`` — a cell running under ``REPRO_CHECK`` tripped
   the invariant sanitizer or diverged from the differential oracle
   (:mod:`repro.check`): violation kind, component, access index, the

@@ -75,6 +75,91 @@ class HardwareRng:
             self._refill()
         return self._buffer.pop()
 
+    def pregenerate(self, count: int) -> List[int]:
+        """The next ``count`` values of the :meth:`draw` stream, at once.
+
+        Bit-identical to ``[self.draw() for _ in range(count)]``,
+        including the state left behind: the underlying PRNG advances by
+        the same number of words and the buffer holds the unconsumed
+        remainder of the last refill, so interleaving ``pregenerate``
+        and ``draw`` calls produces the same stream as ``draw`` alone.
+
+        The batched runner uses this to turn the per-miss ``draw()``
+        calls of a whole cell into one vectorized row: ``getrandbits``
+        consumes exactly one 32-bit Mersenne Twister word per call for
+        widths <= 32, so the words are produced by numpy's MT19937 from
+        a transplanted state and shifted down to ``width`` bits.  Wider
+        RNGs (none in the paper's 8-bit datapath) and exotic PRNG states
+        fall back to the scalar refill loop.
+        """
+        if count <= 0:
+            return []
+        taken: List[int] = []
+        buffer = self._buffer
+        while buffer and len(taken) < count:
+            taken.append(buffer.pop())
+        need = count - len(taken)
+        if need == 0:
+            return taken
+        chunk = self._buffer_size
+        refills = -(-need // chunk)
+        values = self._bulk_values(refills * chunk)
+        taken.extend(values[:need])
+        # Unconsumed tail of the final refill, restored so pop() yields
+        # it in the same order scalar draws would.
+        buffer.extend(reversed(values[need:]))
+        return taken
+
+    def _bulk_values(self, total: int) -> List[int]:
+        """``total`` draw-stream values (a whole number of refills).
+
+        Each refill appends ``buffer_size`` words and ``draw`` pops from
+        the end, so the consumed order is each chunk reversed.
+        """
+        width = self.width
+        if width <= 32:
+            values = self._numpy_words(total)
+            if values is not None:
+                shift = 32 - width
+                return (values.reshape(-1, self._buffer_size)[:, ::-1]
+                        >> shift).ravel().tolist()
+        rand = self._rng.getrandbits
+        chunk = self._buffer_size
+        out: List[int] = []
+        for _ in range(total // chunk):
+            out.extend([rand(width) for _ in range(chunk)][::-1])
+        return out
+
+    def _numpy_words(self, total: int):
+        """``total`` raw 32-bit MT words via numpy, advancing ``_rng``.
+
+        Returns ``None`` when the stdlib PRNG state is not the plain
+        624-word Mersenne Twister layout (e.g. a subclassed Random).
+        """
+        try:
+            import numpy as np
+        except ImportError:                    # pragma: no cover
+            return None
+        try:
+            version, internal, gauss_next = self._rng.getstate()
+        except (TypeError, ValueError):        # pragma: no cover
+            return None
+        if version != 3 or len(internal) != 625:
+            return None
+        bit_generator = np.random.MT19937()
+        bit_generator.state = {
+            "bit_generator": "MT19937",
+            "state": {"key": np.asarray(internal[:-1], dtype=np.uint64),
+                      "pos": internal[-1]},
+        }
+        words = bit_generator.random_raw(total)
+        state = bit_generator.state["state"]
+        self._rng.setstate((version,
+                            tuple(int(word) for word in state["key"])
+                            + (int(state["pos"]),),
+                            gauss_next))
+        return words
+
     def draw_masked(self, mask: int) -> int:
         """Return ``draw() & mask`` — the bounded value R' of Figure 4."""
         return self.draw() & mask

@@ -56,6 +56,57 @@ class TestHardwareRng:
         assert min(counts) > 700 and max(counts) < 1300
 
 
+class TestPregenerate:
+    """``pregenerate(n)`` must be bit-identical to ``n`` scalar draws —
+    values *and* the RNG state left behind."""
+
+    def test_matches_scalar_draws(self):
+        for seed in (0, 1, 42):
+            batched = HardwareRng(seed=seed)
+            scalar = HardwareRng(seed=seed)
+            assert batched.pregenerate(1000) == \
+                [scalar.draw() for _ in range(1000)]
+
+    def test_mid_buffer_start_then_lockstep(self):
+        batched = HardwareRng(seed=5)
+        scalar = HardwareRng(seed=5)
+        for _ in range(37):           # leave both mid-buffer
+            assert batched.draw() == scalar.draw()
+        assert batched.pregenerate(300) == \
+            [scalar.draw() for _ in range(300)]
+        # State after: subsequent draws still agree (multi-refill tail).
+        assert [batched.draw() for _ in range(700)] == \
+            [scalar.draw() for _ in range(700)]
+
+    def test_interleaved_pregenerate_and_draw(self):
+        batched = HardwareRng(seed=8)
+        scalar = HardwareRng(seed=8)
+        stream = []
+        stream += batched.pregenerate(13)
+        stream += [batched.draw() for _ in range(5)]
+        stream += batched.pregenerate(600)
+        stream += [batched.draw()]
+        assert stream == [scalar.draw() for _ in range(len(stream))]
+
+    def test_narrow_width(self):
+        batched = HardwareRng(seed=9, width=16)
+        scalar = HardwareRng(seed=9, width=16)
+        assert batched.pregenerate(2500) == \
+            [scalar.draw() for _ in range(2500)]
+
+    def test_nonpositive_count_is_empty_noop(self):
+        rng = HardwareRng(seed=1)
+        assert rng.pregenerate(0) == []
+        assert rng.pregenerate(-3) == []
+        assert rng.draw() == HardwareRng(seed=1).draw()
+
+    def test_scalar_fallback_matches_numpy_path(self):
+        # Wide RNGs skip the numpy transplant (> one MT word per draw).
+        wide = HardwareRng(seed=4, width=48)
+        scalar = HardwareRng(seed=4, width=48)
+        assert wide.pregenerate(700) == [scalar.draw() for _ in range(700)]
+
+
 class TestDeriveSeed:
     def test_stable(self):
         assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
