@@ -22,6 +22,14 @@ Equation (7) reference channel, Flush-Reload and the cache-occupancy
 channel, per scheme x window x seed — validates it against the
 Section V-B closed forms, and writes ``BENCH_leakage.json``.
 
+``python -m repro serve`` runs the asyncio sweep service
+(:mod:`repro.service`): ``POST /sweeps`` accepts CellSpec /
+LeakageCellSpec grids as versioned JSON, runs them through the same
+supervised runner behind a bounded work queue with per-client rate
+limits, shares one content-addressed result store across all sweeps,
+and streams per-sweep JSONL telemetry from ``GET /sweeps/{id}/events``
+(``--port/--jobs/--queue-depth/--max-cells-per-request/--rate``).
+
 ``--check[=RATE]`` on both sweeps turns on checked simulation mode
 (:mod:`repro.check`): every cell runs under the invariant sanitizer
 and the differential oracle, sampled every RATE accesses (default
@@ -378,6 +386,25 @@ def leakage(args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def serve_cmd(args: argparse.Namespace) -> None:
+    """``python -m repro serve``: the asyncio sweep service."""
+    from repro.service.app import run_server
+    from repro.service.sweeps import ServiceConfig
+
+    _validate_cache_env()
+    jobs = _resolve_jobs_or_exit(args.jobs) if args.jobs is not None else None
+    try:
+        config = ServiceConfig(
+            host=args.host, port=args.port, jobs=jobs,
+            queue_depth=args.queue_depth,
+            max_cells_per_request=args.max_cells_per_request,
+            rate=args.rate, burst=args.burst,
+            spool_dir=args.spool or None)
+        run_server(config)
+    except (ValueError, OSError) as error:
+        sys.exit(f"error: {error}")
+
+
 def cache_cmd(args: argparse.Namespace) -> None:
     """``python -m repro cache --stats/--clear``: inspect or empty the
     on-disk cache layers under ``~/.cache/repro``."""
@@ -409,6 +436,13 @@ def cache_cmd(args: argparse.Namespace) -> None:
     if scan["scanned"]:
         print(f"results integrity: {scan['scanned']} entries scanned, "
               f"{scan['quarantined']} corrupt quarantined")
+    # The same thread-safe snapshot the service's /metrics endpoint
+    # reports, so a live service and this CLI agree on the counters.
+    counters = RESULT_CACHE.stats_snapshot()
+    print(f"results counters (this process): hits={counters['hits']} "
+          f"misses={counters['misses']} "
+          f"corrupt_evicted={counters['corrupt_evicted']} "
+          f"store_failures={counters['store_failures']}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -496,6 +530,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run ONE grid cell (or, when the sweep batches, "
                     "its first batch) under cProfile and print the "
                     "top-20 cumulative hotspots instead of the sweep")
+    vp = sub.add_parser(
+        "serve", help="run the asyncio sweep service (HTTP/JSON API over "
+        "the supervised runner with a shared result store)")
+    vp.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    vp.add_argument("--port", type=int, default=8322,
+                    help="TCP port (0 picks an ephemeral port; default 8322)")
+    vp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes per sweep (default: REPRO_JOBS "
+                    "or all cores)")
+    vp.add_argument("--queue-depth", type=int, default=16,
+                    help="sweeps allowed to wait behind the running one "
+                    "before POST /sweeps answers 429 (default 16)")
+    vp.add_argument("--max-cells-per-request", type=int, default=4096,
+                    help="per-submission cell ceiling; larger grids get a "
+                    "structured 400 (default 4096)")
+    vp.add_argument("--rate", type=float, default=10.0,
+                    help="per-client submissions per second (default 10)")
+    vp.add_argument("--burst", type=float, default=20.0,
+                    help="per-client submission burst capacity (default 20)")
+    vp.add_argument("--spool", default="",
+                    help="directory for per-sweep telemetry JSONL files "
+                    "(default: a fresh temp directory)")
     cp = sub.add_parser(
         "cache", help="inspect or clear the on-disk trace/result caches")
     group = cp.add_mutually_exclusive_group()
@@ -512,6 +569,8 @@ def main(argv=None) -> None:
         sweep(args)
     elif args.command == "leakage":
         leakage(args)
+    elif args.command == "serve":
+        serve_cmd(args)
     elif args.command == "cache":
         cache_cmd(args)
     else:

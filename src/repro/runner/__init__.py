@@ -20,6 +20,10 @@ This package turns a figure sweep into an explicit list of picklable
 * :mod:`repro.runner.telemetry` — JSONL event log of a run (cell
   start/finish/retry/timeout, pool restarts) and the live progress
   line behind ``--telemetry`` / the CLI,
+* :mod:`repro.runner.jobs` — the non-blocking job-handle layer the
+  sweep service uses: ``JobRunner.submit`` queues a grid on a bounded
+  FIFO drained by one executor thread, returning a ``JobHandle`` with
+  ``poll()`` / ``cancel()`` / ``result()``,
 * :mod:`repro.runner.result_cache` — the content-addressed per-cell
   result cache that makes re-run sweeps incremental,
 * :mod:`repro.runner.profiler` — ``--profile`` support: run one cell
@@ -42,6 +46,7 @@ from repro.runner.batch import (
     run_batch,
 )
 from repro.runner.cells import CellSpec, run_cell
+from repro.runner.jobs import JobHandle, JobQueueFull, JobRunner
 from repro.runner.pool import (
     CellTimeoutError,
     last_run_stats,
@@ -54,13 +59,20 @@ from repro.runner.pool import (
 from repro.runner.profiler import profile_batch, profile_cell
 from repro.runner.report import record_bench
 from repro.runner.result_cache import RESULT_CACHE, ResultCache
-from repro.runner.telemetry import Telemetry, read_events
+from repro.runner.telemetry import (
+    Telemetry,
+    read_events,
+    read_events_incremental,
+)
 
 __all__ = [
     "BatchItem",
     "CellBatch",
     "CellSpec",
     "CellTimeoutError",
+    "JobHandle",
+    "JobQueueFull",
+    "JobRunner",
     "RESULT_CACHE",
     "ResultCache",
     "Telemetry",
@@ -69,6 +81,7 @@ __all__ = [
     "profile_batch",
     "profile_cell",
     "read_events",
+    "read_events_incremental",
     "record_bench",
     "resolve_batch",
     "resolve_cell_retries",

@@ -52,9 +52,7 @@ def resolve_batch(batch: Optional[bool] = None) -> bool:
         return False
     if env in _TRUE_VALUES:
         return True
-    raise ValueError(
-        f"REPRO_BATCH must be a boolean flag (1/0/on/off/yes/no), "
-        f"got {env!r}")
+    raise ValueError(f"REPRO_BATCH must be a boolean flag (1/0/on/off/yes/no), got {env!r}")
 
 
 class CellBatch:
@@ -76,8 +74,7 @@ class CellBatch:
         return len(self.cells)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"CellBatch({self.batch_id!r}, kind={self.kind!r}, "
-                f"cells={len(self.cells)})")
+        return f"CellBatch({self.batch_id!r}, kind={self.kind!r}, cells={len(self.cells)})"
 
 
 class BatchItem:
@@ -93,8 +90,7 @@ class BatchItem:
         return f"BatchItem({self.batch.batch_id!r}, indices={self.indices})"
 
 
-def plan_batches(specs: Sequence, pending: Sequence[int],
-                 jobs: int = 1) -> List:
+def plan_batches(specs: Sequence, pending: Sequence[int], jobs: int = 1) -> List:
     """Group pending cell indices into a work list.
 
     Returns a list of plain ``int`` indices (unbatched cells) and
@@ -132,14 +128,14 @@ def plan_batches(specs: Sequence, pending: Sequence[int],
     sequence = 0
     for key, indices in groups.items():
         for start in range(0, len(indices), max_batch):
-            chunk = indices[start:start + max_batch]
+            chunk = indices[start : start + max_batch]
             if len(chunk) < MIN_BATCH:
                 items.extend(chunk)
                 continue
-            kind = str(key[0]) if isinstance(key, tuple) and key \
-                else str(key)
-            batch = CellBatch(batch_id=f"b{sequence}", kind=kind,
-                              cells=tuple(specs[i] for i in chunk))
+            kind = str(key[0]) if isinstance(key, tuple) and key else str(key)
+            batch = CellBatch(
+                batch_id=f"b{sequence}", kind=kind, cells=tuple(specs[i] for i in chunk)
+            )
             items.append(BatchItem(tuple(chunk), batch))
             sequence += 1
     items.sort(key=_first_index)

@@ -38,15 +38,15 @@ class CellSpec:
     spec a plain value that pickles cheaply to worker processes.
     """
 
-    kind: str                                   # one of CELL_KINDS
+    kind: str  # one of CELL_KINDS
     scheme: str = "random_fill"
-    benchmark: str = ""                         # general/concurrent/profile
-    window: Optional[Tuple[int, int]] = None    # (a, b)
+    benchmark: str = ""  # general/concurrent/profile
+    window: Optional[Tuple[int, int]] = None  # (a, b)
     n_refs: int = 100_000
-    message_kb: int = 32                        # crypto message size
-    aes_kb: int = 4                             # concurrent AES stress size
+    message_kb: int = 32  # crypto message size
+    aes_kb: int = 4  # concurrent AES stress size
     seed: int = 0
-    warm: bool = True                           # general: warm the L2 first
+    warm: bool = True  # general: warm the L2 first
     config: SimulatorConfig = field(default=BASELINE_CONFIG)
 
     def __post_init__(self) -> None:
@@ -80,8 +80,7 @@ class CellSpec:
         """
         if self.kind != "general":
             return None
-        return ("general", self.benchmark, self.n_refs, self.seed,
-                self.warm, self.config)
+        return ("general", self.benchmark, self.n_refs, self.seed, self.warm, self.config)
 
 
 def run_cell(spec):
@@ -129,52 +128,69 @@ def _dispatch_cell(spec):
         if run is None:
             raise TypeError(
                 f"cell spec {type(spec).__name__} is neither a CellSpec "
-                f"nor exposes a run() method")
+                f"nor exposes a run() method"
+            )
         return run()
     kind = spec.kind
     if kind == "general":
         from repro.experiments.perf_general import run_general_workload
         from repro.workloads.cache import cached_workload
         window = spec.window if spec.window is not None else (0, 0)
-        trace = cached_workload(spec.benchmark, n_refs=spec.n_refs,
-                                seed=spec.seed)
+        trace = cached_workload(spec.benchmark, n_refs=spec.n_refs, seed=spec.seed)
         return run_general_workload(
-            spec.benchmark, window, config=spec.config, n_refs=spec.n_refs,
-            seed=spec.seed, scheme_name=spec.scheme, trace=trace,
-            warm=spec.warm)
+            spec.benchmark,
+            window,
+            config=spec.config,
+            n_refs=spec.n_refs,
+            seed=spec.seed,
+            scheme_name=spec.scheme,
+            trace=trace,
+            warm=spec.warm,
+        )
     if kind == "crypto":
         from repro.core.window import RandomFillWindow
         from repro.experiments.perf_crypto import (
             cached_cbc_trace,
             run_crypto_workload,
         )
-        window = RandomFillWindow(*spec.window) if spec.window is not None \
-            else None
+        window = RandomFillWindow(*spec.window) if spec.window is not None else None
         trace = cached_cbc_trace(message_kb=spec.message_kb, seed=spec.seed)
         return run_crypto_workload(
-            spec.scheme, spec.config, window=window,
-            message_kb=spec.message_kb, seed=spec.seed, trace=trace)
+            spec.scheme,
+            spec.config,
+            window=window,
+            message_kb=spec.message_kb,
+            seed=spec.seed,
+            trace=trace,
+        )
     if kind == "concurrent":
         from repro.experiments.perf_concurrent import run_concurrent
         from repro.experiments.perf_crypto import cached_cbc_trace
         from repro.workloads.cache import cached_workload
-        spec_trace = cached_workload(spec.benchmark, n_refs=spec.n_refs,
-                                     seed=spec.seed)
-        aes_trace = cached_cbc_trace(message_kb=spec.aes_kb, seed=spec.seed,
-                                     decrypt_too=True)
+        spec_trace = cached_workload(spec.benchmark, n_refs=spec.n_refs, seed=spec.seed)
+        aes_trace = cached_cbc_trace(message_kb=spec.aes_kb, seed=spec.seed, decrypt_too=True)
         return run_concurrent(
-            spec.scheme, spec.benchmark, spec.config, n_refs=spec.n_refs,
-            aes_kb=spec.aes_kb, seed=spec.seed, spec_trace=spec_trace,
-            aes_trace=aes_trace)
+            spec.scheme,
+            spec.benchmark,
+            spec.config,
+            n_refs=spec.n_refs,
+            aes_kb=spec.aes_kb,
+            seed=spec.seed,
+            spec_trace=spec_trace,
+            aes_trace=aes_trace,
+        )
     # kind == "profile" (guaranteed by __post_init__)
     from repro.analysis.profiling import profile_reference_ratio
     from repro.core.window import RandomFillWindow
     from repro.workloads.cache import cached_workload
-    window = RandomFillWindow(*spec.window) if spec.window is not None \
-        else RandomFillWindow(16, 15)
+    window = RandomFillWindow(*spec.window) if spec.window is not None else RandomFillWindow(16, 15)
     cfg = spec.config
-    trace = cached_workload(spec.benchmark, n_refs=spec.n_refs,
-                            seed=spec.seed)
+    trace = cached_workload(spec.benchmark, n_refs=spec.n_refs, seed=spec.seed)
     return profile_reference_ratio(
-        trace, window, l1_size=cfg.l1d_size, l1_assoc=cfg.l1d_assoc,
-        line_size=cfg.line_size, seed=spec.seed)
+        trace,
+        window,
+        l1_size=cfg.l1d_size,
+        l1_assoc=cfg.l1d_assoc,
+        line_size=cfg.line_size,
+        seed=spec.seed,
+    )

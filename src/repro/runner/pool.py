@@ -109,8 +109,8 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 jobs = int(env)
             except ValueError:
                 raise ValueError(
-                    f"REPRO_JOBS must be an integer worker count, "
-                    f"got {env!r}") from None
+                    f"REPRO_JOBS must be an integer worker count, got {env!r}"
+                ) from None
         else:
             jobs = os.cpu_count() or 1
     if jobs < 1:
@@ -131,8 +131,8 @@ def resolve_cell_timeout(timeout: Optional[float] = None) -> Optional[float]:
             timeout = float(env)
         except ValueError:
             raise ValueError(
-                f"REPRO_CELL_TIMEOUT must be a number of seconds, "
-                f"got {env!r}") from None
+                f"REPRO_CELL_TIMEOUT must be a number of seconds, got {env!r}"
+            ) from None
     return timeout if timeout > 0 else None
 
 
@@ -146,8 +146,8 @@ def resolve_cell_retries(retries: Optional[int] = None) -> int:
             retries = int(env)
         except ValueError:
             raise ValueError(
-                f"REPRO_CELL_RETRIES must be an integer retry count, "
-                f"got {env!r}") from None
+                f"REPRO_CELL_RETRIES must be an integer retry count, got {env!r}"
+            ) from None
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     return retries
@@ -167,15 +167,15 @@ def _run_cell_task(spec):
 
 # -- run-wide defaults (CLI surface) -----------------------------------------
 
-_RUN_DEFAULTS: Dict[str, Optional[object]] = {
-    "telemetry": None, "progress": None, "batch": None,
-}
+_RUN_DEFAULTS: Dict[str, Optional[object]] = {"telemetry": None, "progress": None, "batch": None}
 
 
 @contextmanager
-def run_context(telemetry: Union[Telemetry, str, None] = None,
-                progress: Optional[bool] = None,
-                batch: Optional[bool] = None):
+def run_context(
+    telemetry: Union[Telemetry, str, None] = None,
+    progress: Optional[bool] = None,
+    batch: Optional[bool] = None,
+):
     """Scope default telemetry/progress/batching for nested
     ``run_cells`` calls.
 
@@ -200,18 +200,24 @@ def run_context(telemetry: Union[Telemetry, str, None] = None,
 
 def _percentile(sorted_values: List[float], q: float) -> float:
     """Nearest-rank percentile of an already-sorted non-empty list."""
-    rank = max(0, min(len(sorted_values) - 1,
-                      int(round(q * (len(sorted_values) - 1)))))
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
     return sorted_values[rank]
 
 
 class _Supervisor:
     """Shared bookkeeping for one ``run_cells`` invocation."""
 
-    def __init__(self, specs: Sequence, retries: int,
-                 timeout: Optional[float], telemetry: Telemetry,
-                 cache: ResultCache, fingerprints: List[Optional[str]],
-                 results: List, total: int):
+    def __init__(
+        self,
+        specs: Sequence,
+        retries: int,
+        timeout: Optional[float],
+        telemetry: Telemetry,
+        cache: ResultCache,
+        fingerprints: List[Optional[str]],
+        results: List,
+        total: int,
+    ):
         self.specs = specs
         self.retries = retries
         self.timeout = timeout
@@ -223,10 +229,17 @@ class _Supervisor:
         self.done = 0
         self.attempts: Dict[int, int] = {}
         self.latencies: List[float] = []
-        self.counters = dict(retries=0, timeouts=0, pool_restarts=0,
-                             inline_fallback=0, checks_run=0,
-                             check_violations=0, batches=0, batched_cells=0,
-                             decode_reuse_hits=0)
+        self.counters = dict(
+            retries=0,
+            timeouts=0,
+            pool_restarts=0,
+            inline_fallback=0,
+            checks_run=0,
+            check_violations=0,
+            batches=0,
+            batched_cells=0,
+            decode_reuse_hits=0,
+        )
 
     def note_cached(self, index: int) -> None:
         self.done += 1
@@ -241,10 +254,8 @@ class _Supervisor:
         self.counters["checks_run"] += meta.get("checks_run", 0)
         self.latencies.append(meta.get("wall_s", 0.0))
         self.done += 1
-        self.telemetry.emit("cell_finish", index=index,
-                            attempt=self.attempts.get(index, 0), **meta)
-        self.telemetry.progress(self.done, self.total,
-                                f"last cell {meta.get('wall_s', 0):.2f}s")
+        self.telemetry.emit("cell_finish", index=index, attempt=self.attempts.get(index, 0), **meta)
+        self.telemetry.progress(self.done, self.total, f"last cell {meta.get('wall_s', 0):.2f}s")
 
     def on_failure(self, index: int, error: BaseException) -> bool:
         """Count one failed attempt; True if the cell may be retried."""
@@ -254,16 +265,20 @@ class _Supervisor:
             # A checked-mode divergence is deterministic — retrying the
             # same spec would only rediscover it.  Surface it at once.
             self.counters["check_violations"] += 1
-            self.telemetry.emit("check_violation", index=index,
-                                kind=error.kind, where=error.where,
-                                access_index=error.index,
-                                error=str(error), spec=error.spec)
+            self.telemetry.emit(
+                "check_violation",
+                index=index,
+                kind=error.kind,
+                where=error.where,
+                access_index=error.index,
+                error=str(error),
+                spec=error.spec,
+            )
             return False
         if attempt > self.retries:
             return False
         self.counters["retries"] += 1
-        self.telemetry.emit("cell_retry", index=index, attempt=attempt,
-                            error=repr(error))
+        self.telemetry.emit("cell_retry", index=index, attempt=attempt, error=repr(error))
         return True
 
     def on_batch_result(self, item: BatchItem, payload) -> None:
@@ -271,12 +286,14 @@ class _Supervisor:
         results, metas, batch_meta = payload
         self.counters["batches"] += 1
         self.counters["batched_cells"] += len(item.indices)
-        self.counters["decode_reuse_hits"] += batch_meta.get(
-            "decode_reuses", 0)
+        self.counters["decode_reuse_hits"] += batch_meta.get("decode_reuses", 0)
         batch = item.batch
-        self.telemetry.emit("batch_finish", batch_id=batch.batch_id,
-                            size=len(item.indices),
-                            decode_reuses=batch_meta.get("decode_reuses", 0))
+        self.telemetry.emit(
+            "batch_finish",
+            batch_id=batch.batch_id,
+            size=len(item.indices),
+            decode_reuses=batch_meta.get("decode_reuses", 0),
+        )
         for index, result, meta in zip(item.indices, results, metas):
             meta["batch_id"] = batch.batch_id
             meta["batch_size"] = len(item.indices)
@@ -286,8 +303,9 @@ class _Supervisor:
                 meta["checks_run"] = batch_meta.pop("checks_run")
             self.on_result(index, result, meta)
 
-    def on_batch_split(self, item: BatchItem, reason: str,
-                       error: Optional[BaseException] = None) -> None:
+    def on_batch_split(
+        self, item: BatchItem, reason: str, error: Optional[BaseException] = None
+    ) -> None:
         """Report that a batch is dissolving into per-cell retries.
 
         The split itself is the mitigation, so member cells are *not*
@@ -295,23 +313,29 @@ class _Supervisor:
         its ordinary per-cell retries, while its innocent siblings
         complete individually.
         """
-        self.telemetry.emit("batch_split", batch_id=item.batch.batch_id,
-                            cells=list(item.indices), reason=reason,
-                            error=repr(error) if error is not None else None)
+        self.telemetry.emit(
+            "batch_split",
+            batch_id=item.batch.batch_id,
+            cells=list(item.indices),
+            reason=reason,
+            error=repr(error) if error is not None else None,
+        )
 
     def on_batch_timeout(self, item: BatchItem) -> None:
         self.counters["timeouts"] += 1
-        self.telemetry.emit("batch_timeout", batch_id=item.batch.batch_id,
-                            cells=list(item.indices),
-                            timeout_s=self.timeout * len(item.indices))
+        self.telemetry.emit(
+            "batch_timeout",
+            batch_id=item.batch.batch_id,
+            cells=list(item.indices),
+            timeout_s=self.timeout * len(item.indices),
+        )
 
     def on_timeout(self, index: int) -> bool:
         """Count one timed-out attempt; True if the cell may be retried."""
         attempt = self.attempts.get(index, 0) + 1
         self.attempts[index] = attempt
         self.counters["timeouts"] += 1
-        self.telemetry.emit("cell_timeout", index=index, attempt=attempt,
-                            timeout_s=self.timeout)
+        self.telemetry.emit("cell_timeout", index=index, attempt=attempt, timeout_s=self.timeout)
         if attempt > self.retries:
             return False
         self.counters["retries"] += 1
@@ -325,8 +349,9 @@ def _run_inline(sup: _Supervisor, pending: Sequence) -> None:
     """Sequential execution with retry (timeouts cannot be enforced)."""
     for item in pending:
         if type(item) is BatchItem:
-            sup.telemetry.emit("batch_start", batch_id=item.batch.batch_id,
-                               cells=list(item.indices))
+            sup.telemetry.emit(
+                "batch_start", batch_id=item.batch.batch_id, cells=list(item.indices)
+            )
             try:
                 payload = run_batch(item.batch)
             except Exception as error:
@@ -337,8 +362,7 @@ def _run_inline(sup: _Supervisor, pending: Sequence) -> None:
             continue
         i = item
         while True:
-            sup.telemetry.emit("cell_start", index=i,
-                               attempt=sup.attempts.get(i, 0))
+            sup.telemetry.emit("cell_start", index=i, attempt=sup.attempts.get(i, 0))
             try:
                 result, meta = _run_cell_task(sup.specs[i])
             except Exception as error:
@@ -361,7 +385,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """
     try:
         processes = list(pool._processes.values())
-    except AttributeError:                     # implementation detail moved
+    except AttributeError:  # implementation detail moved
         processes = []
     for process in processes:
         try:
@@ -377,8 +401,7 @@ def _split_to_front(queue: deque, item: BatchItem) -> None:
         queue.appendleft(index)
 
 
-def _run_supervised(sup: _Supervisor, pending: Sequence,
-                    jobs: int) -> int:
+def _run_supervised(sup: _Supervisor, pending: Sequence, jobs: int) -> int:
     """Pool execution with retry, timeout and crash recovery.
 
     ``pending`` holds plain cell indices and :class:`BatchItem`
@@ -395,14 +418,13 @@ def _run_supervised(sup: _Supervisor, pending: Sequence,
     while queue:
         if restarts > _MAX_POOL_RESTARTS:
             sup.counters["inline_fallback"] = 1
-            sup.telemetry.emit("inline_fallback", pending=len(queue),
-                               restarts=restarts)
+            sup.telemetry.emit("inline_fallback", pending=len(queue), restarts=restarts)
             _run_inline(sup, list(queue))
             return jobs_used
         workers = min(jobs, len(queue))
         jobs_used = max(jobs_used, workers)
         restart_reason = None
-        in_flight: Dict = {}                   # future -> (item, submit time)
+        in_flight: Dict = {}  # future -> (item, submit time)
         pool = ProcessPoolExecutor(max_workers=workers)
         graceful = False
         try:
@@ -411,17 +433,17 @@ def _run_supervised(sup: _Supervisor, pending: Sequence,
                     item = queue.popleft()
                     if type(item) is BatchItem:
                         sup.telemetry.emit(
-                            "batch_start", batch_id=item.batch.batch_id,
-                            cells=list(item.indices))
+                            "batch_start", batch_id=item.batch.batch_id, cells=list(item.indices)
+                        )
                         future = pool.submit(run_batch, item.batch)
                     else:
-                        sup.telemetry.emit("cell_start", index=item,
-                                           attempt=sup.attempts.get(item, 0))
+                        sup.telemetry.emit(
+                            "cell_start", index=item, attempt=sup.attempts.get(item, 0)
+                        )
                         future = pool.submit(_run_cell_task, sup.specs[item])
                     in_flight[future] = (item, time.monotonic())
                 tick = _WAIT_TICK_S if sup.timeout is not None else None
-                finished, _ = wait(set(in_flight), timeout=tick,
-                                   return_when=FIRST_COMPLETED)
+                finished, _ = wait(set(in_flight), timeout=tick, return_when=FIRST_COMPLETED)
                 for future in finished:
                     item, _submitted = in_flight.pop(future)
                     error = future.exception()
@@ -444,23 +466,23 @@ def _run_supervised(sup: _Supervisor, pending: Sequence,
                         queue.append(item)
                 if sup.timeout is not None and in_flight:
                     now = time.monotonic()
-                    expired = [
-                        item for future, (item, t0) in in_flight.items()
-                        if now - t0 > sup.timeout
-                        * (len(item.indices) if type(item) is BatchItem
-                           else 1)
-                        and not future.done()]
+                    expired = []
+                    for future, (item, t0) in in_flight.items():
+                        if future.done():
+                            continue
+                        scale = len(item.indices) if type(item) is BatchItem else 1
+                        if now - t0 > sup.timeout * scale:
+                            expired.append(item)
                     if expired:
                         for item in expired:
                             if type(item) is BatchItem:
                                 sup.on_batch_timeout(item)
                             elif not sup.on_timeout(item):
                                 raise CellTimeoutError(
-                                    f"cell {item} exceeded its "
-                                    f"{sup.timeout}s timeout on every "
-                                    f"allowed attempt "
-                                    f"(REPRO_CELL_TIMEOUT / "
-                                    f"REPRO_CELL_RETRIES)")
+                                    f"cell {item} exceeded its {sup.timeout}s timeout on "
+                                    f"every allowed attempt "
+                                    f"(REPRO_CELL_TIMEOUT / REPRO_CELL_RETRIES)"
+                                )
                         restart_reason = "timeout"
                         break
             graceful = restart_reason is None
@@ -473,9 +495,8 @@ def _run_supervised(sup: _Supervisor, pending: Sequence,
             # Batches are not charged — they split in the salvage pass
             # below, and the killer then pays per-cell attempts.
             for future, (item, _t0) in in_flight.items():
-                if type(item) is not BatchItem \
-                        and not (future.done() and not future.cancelled()
-                                 and future.exception() is None):
+                salvaged = future.done() and not future.cancelled() and future.exception() is None
+                if type(item) is not BatchItem and not salvaged:
                     sup.attempts[item] = sup.attempts.get(item, 0) + 1
         finally:
             if graceful:
@@ -489,8 +510,7 @@ def _run_supervised(sup: _Supervisor, pending: Sequence,
             # everything still unfinished on a fresh pool (batches are
             # split: their cells retry individually).
             for future, (item, _t0) in in_flight.items():
-                if future.done() and not future.cancelled() \
-                        and future.exception() is None:
+                if future.done() and not future.cancelled() and future.exception() is None:
                     if type(item) is BatchItem:
                         sup.on_batch_result(item, future.result())
                     else:
@@ -503,19 +523,24 @@ def _run_supervised(sup: _Supervisor, pending: Sequence,
                     queue.appendleft(item)
             restarts += 1
             sup.counters["pool_restarts"] = restarts
-            sup.telemetry.emit("pool_restart", reason=restart_reason,
-                               restarts=restarts, pending=len(queue))
+            sup.telemetry.emit(
+                "pool_restart", reason=restart_reason, restarts=restarts, pending=len(queue)
+            )
     return jobs_used
 
 
-def run_cells(specs: Sequence, jobs: Optional[int] = None,
-              chunksize: Optional[int] = None,
-              result_cache: Optional[ResultCache] = None,
-              timeout: Optional[float] = None,
-              retries: Optional[int] = None,
-              telemetry: Union[Telemetry, str, None] = None,
-              progress: Optional[bool] = None,
-              batch: Optional[bool] = None) -> List:
+def run_cells(
+    specs: Sequence,
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    result_cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    telemetry: Union[Telemetry, str, None] = None,
+    progress: Optional[bool] = None,
+    batch: Optional[bool] = None,
+    stats_sink: Optional[Dict] = None,
+) -> List:
     """Run every cell; returns results in the order of ``specs``.
 
     Accepts :class:`CellSpec` instances or any other picklable spec
@@ -548,8 +573,14 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
     ``telemetry`` is a :class:`~repro.runner.telemetry.Telemetry`, a
     JSONL path, or ``None`` (inherit the :func:`run_context` default);
     ``progress`` forces the live progress line on/off.
+
+    ``stats_sink``, when given, receives the final
+    :func:`last_run_stats` payload for *this* call — the process-wide
+    ``last_run_stats()`` is a single slot, so concurrent callers (the
+    sweep service's job thread vs. the main thread) pass a sink to get
+    their own copy race-free.
     """
-    del chunksize                        # legacy knob; supervision is per-cell
+    del chunksize  # legacy knob; supervision is per-cell
     jobs = resolve_jobs(jobs)
     timeout = resolve_cell_timeout(timeout)
     retries = resolve_cell_retries(retries)
@@ -573,8 +604,7 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
     cache_hits = 0
     cache_misses = 0
     uncacheable = 0
-    sup = _Supervisor(specs, retries, timeout, telemetry, cache,
-                      fingerprints, results, total)
+    sup = _Supervisor(specs, retries, timeout, telemetry, cache, fingerprints, results, total)
     try:
         cached_indices: List[int] = []
         for i, spec in enumerate(specs):
@@ -598,18 +628,22 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
         batching = resolve_batch(batch)
         work: List = list(pending)
         planned_batches = 0
-        if batching and len(pending) > 1 \
-                and check_rate_from_env() is None:
+        if batching and len(pending) > 1 and check_rate_from_env() is None:
             work = plan_batches(specs, pending, jobs=jobs)
-            planned_batches = sum(
-                1 for item in work if type(item) is BatchItem)
+            planned_batches = sum(1 for item in work if type(item) is BatchItem)
 
         telemetry.emit(
-            "run_start", cells=total, pending=len(pending),
-            cached=cache_hits, jobs=jobs, timeout_s=timeout,
-            retries=retries, batches=planned_batches,
+            "run_start",
+            cells=total,
+            pending=len(pending),
+            cached=cache_hits,
+            jobs=jobs,
+            timeout_s=timeout,
+            retries=retries,
+            batches=planned_batches,
             python=".".join(map(str, sys.version_info[:3])),
-            pid=os.getpid())
+            pid=os.getpid(),
+        )
         for i in cached_indices:
             sup.note_cached(i)
 
@@ -632,7 +666,9 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
             ordered = sorted(sup.latencies)
             _LAST_RUN.clear()
             _LAST_RUN.update(
-                cells=total, jobs=jobs_used, seconds=elapsed,
+                cells=total,
+                jobs=jobs_used,
+                seconds=elapsed,
                 cells_per_sec=(total / elapsed) if elapsed > 0 else 0.0,
                 result_cache_hits=cache_hits,
                 result_cache_misses=cache_misses,
@@ -647,7 +683,10 @@ def run_cells(specs: Sequence, jobs: Optional[int] = None,
                 batched_cells=sup.counters["batched_cells"],
                 decode_reuse_hits=sup.counters["decode_reuse_hits"],
                 latency_p50_s=_percentile(ordered, 0.50) if ordered else 0.0,
-                latency_p95_s=_percentile(ordered, 0.95) if ordered else 0.0)
+                latency_p95_s=_percentile(ordered, 0.95) if ordered else 0.0,
+            )
+            if stats_sink is not None:
+                stats_sink.update(_LAST_RUN)
         telemetry.emit("run_finish", **_LAST_RUN)
     finally:
         if owned is not None:

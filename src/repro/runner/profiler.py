@@ -26,8 +26,7 @@ from repro.runner.cells import run_cell
 DEFAULT_TOP = 20
 
 
-def profile_cell(spec, top: int = DEFAULT_TOP,
-                 stream: Optional[io.TextIOBase] = None):
+def profile_cell(spec, top: int = DEFAULT_TOP, stream: Optional[io.TextIOBase] = None):
     """Run one cell under cProfile; returns ``(result, report_text)``.
 
     ``report_text`` is the top-``top`` cumulative-time rows of the flat
@@ -48,8 +47,7 @@ def profile_cell(spec, top: int = DEFAULT_TOP,
     return result, report
 
 
-def profile_batch(batch, top: int = DEFAULT_TOP,
-                  stream: Optional[io.TextIOBase] = None):
+def profile_batch(batch, top: int = DEFAULT_TOP, stream: Optional[io.TextIOBase] = None):
     """Run one :class:`~repro.runner.batch.CellBatch` under cProfile.
 
     Returns ``(results, report_text)`` with one result per member cell;

@@ -25,8 +25,7 @@ def load_report(path: str = DEFAULT_REPORT_PATH) -> Dict[str, dict]:
     return data if isinstance(data, dict) else {}
 
 
-def record_bench(name: str, payload: dict,
-                 path: str = DEFAULT_REPORT_PATH) -> Dict[str, dict]:
+def record_bench(name: str, payload: dict, path: str = DEFAULT_REPORT_PATH) -> Dict[str, dict]:
     """Merge ``payload`` under ``name`` in the report; returns the report.
 
     The write is atomic (temp file + ``os.replace``) so concurrent

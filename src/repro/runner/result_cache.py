@@ -38,6 +38,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from contextlib import contextmanager
 from typing import Optional
 
@@ -64,8 +65,7 @@ def default_result_dir() -> Optional[str]:
 class ResultCache:
     """Disk cache of cell results keyed by spec + code-version hash."""
 
-    def __init__(self, disk_dir: Optional[str] = None,
-                 use_default_disk_dir: bool = True):
+    def __init__(self, disk_dir: Optional[str] = None, use_default_disk_dir: bool = True):
         if disk_dir is None and use_default_disk_dir:
             disk_dir = default_result_dir()
         self.disk_dir = disk_dir
@@ -74,6 +74,33 @@ class ResultCache:
         self.store_failures = 0
         self.corrupt_evicted = 0
         self._suspended = 0
+        # Counter updates come from whichever thread ran the lookup —
+        # the sweep service serves /metrics while a job thread is
+        # populating the same cache — so they go through one lock and
+        # are read back with :meth:`stats_snapshot`.
+        self._stats_lock = threading.Lock()
+
+    def _count(self, counter: str, delta: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + delta)
+
+    def stats_snapshot(self) -> dict:
+        """A consistent copy of the counters, safe to call from any
+        thread while another thread is using the cache.
+
+        This is the one source the live-service ``/metrics`` endpoint
+        and ``python -m repro cache --stats`` both read, so the two
+        always agree on what the counters mean.
+        """
+        with self._stats_lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "store_failures": self.store_failures,
+                "corrupt_evicted": self.corrupt_evicted,
+                "enabled": self.enabled,
+                "disk_dir": self.disk_dir,
+            }
 
     # -- keying --------------------------------------------------------------
 
@@ -84,8 +111,7 @@ class ResultCache:
         token_fn = getattr(spec, "result_cache_token", None)
         if token_fn is None:
             return None
-        material = (f"result:v{SIM_CODE_VERSION}|{token_fn()}|"
-                    f"{type(spec).__qualname__}|{spec!r}")
+        material = f"result:v{SIM_CODE_VERSION}|{token_fn()}|{type(spec).__qualname__}|{spec!r}"
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def _path_for(self, fingerprint: str) -> str:
@@ -131,7 +157,7 @@ class ResultCache:
             os.unlink(path)
         except OSError:
             return
-        self.corrupt_evicted += 1
+        self._count("corrupt_evicted")
 
     def load(self, fingerprint: str):
         """The cached result, or ``None`` on any kind of miss.
@@ -149,23 +175,30 @@ class ResultCache:
                 payload = pickle.load(fh)
             stored_fingerprint, result = payload
         except FileNotFoundError:
-            self.misses += 1
+            self._count("misses")
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
-                TypeError, AttributeError, ModuleNotFoundError):
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            ValueError,
+            TypeError,
+            AttributeError,
+            ModuleNotFoundError,
+        ):
             self._quarantine(path)
-            self.misses += 1
+            self._count("misses")
             return None
         if stored_fingerprint != fingerprint:
             self._quarantine(path)
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             # A read keeps the entry young for the mtime-LRU bound.
             os.utime(path)
         except OSError:
             pass
-        self.hits += 1
+        self._count("hits")
         return result
 
     def store(self, fingerprint: str, result) -> None:
@@ -177,8 +210,7 @@ class ResultCache:
             fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump((fingerprint, result), fh,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump((fingerprint, result), fh, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -189,7 +221,7 @@ class ResultCache:
             maybe_evict(self.disk_dir)
         except (OSError, pickle.PicklingError, TypeError, AttributeError):
             # Unpicklable results (or a full disk) only cost caching.
-            self.store_failures += 1
+            self._count("store_failures")
 
     # -- maintenance ---------------------------------------------------------
 
@@ -215,14 +247,20 @@ class ResultCache:
                     stored_fingerprint, _result = pickle.load(fh)
             except FileNotFoundError:
                 continue
-            except (OSError, pickle.UnpicklingError, EOFError, ValueError,
-                    TypeError, AttributeError, ModuleNotFoundError):
+            except (
+                OSError,
+                pickle.UnpicklingError,
+                EOFError,
+                ValueError,
+                TypeError,
+                AttributeError,
+                ModuleNotFoundError,
+            ):
                 self._quarantine(path)
                 continue
             if f"{stored_fingerprint}.result" != name:
                 self._quarantine(path)
-        return {"scanned": scanned,
-                "quarantined": self.corrupt_evicted - quarantined_before}
+        return {"scanned": scanned, "quarantined": self.corrupt_evicted - quarantined_before}
 
 
 #: process-wide result cache used by :func:`repro.runner.pool.run_cells`

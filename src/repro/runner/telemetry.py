@@ -40,6 +40,19 @@ vocabulary:
   cells degraded to inline execution in the parent;
 * ``run_finish``   — the final ``last_run_stats`` payload.
 
+The sweep service (:mod:`repro.service`) adds a per-sweep prologue in
+the same log file:
+
+* ``sweep_submitted`` — a sweep was accepted over HTTP: sweep id, cell
+  count, client id;
+* ``sweep_rejected`` — a submission was refused (service-level log):
+  the reason (``rate_limited``, ``queue_full``, ``invalid_spec``,
+  ``too_many_cells``) and the client id;
+* ``sweep_start``   — the sweep left the work queue, carrying
+  ``queue_wait_s`` (seconds spent queued behind earlier sweeps);
+* ``sweep_finish``  — terminal state (``done``/``failed``/
+  ``cancelled``) plus the run's stats payload.
+
 The CLI surfaces this as ``--telemetry PATH`` on the ``sweep`` and
 ``leakage`` subcommands; CI uploads the leakage smoke log as an
 artifact.  A :class:`Telemetry` with no path and no progress stream is
@@ -162,6 +175,42 @@ class Telemetry:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def read_events_incremental(path: str, offset: int = 0):
+    """Parse events appended at or after byte ``offset``; returns
+    ``(events, new_offset)``.
+
+    Safe against a *concurrently appending* writer: only lines
+    terminated by a newline are consumed, so a partially-flushed final
+    line is left in place and picked up whole by the next call (the
+    returned offset never advances past it).  This is what the sweep
+    service's ``/events`` streamer polls — each event is delivered
+    exactly once, in order, even while ``run_cells`` is still writing.
+
+    A missing file (the sweep has not emitted yet) reads as no events;
+    corrupt complete lines are skipped, exactly like
+    :func:`read_events`.
+    """
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
+    except OSError:
+        return [], offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    events: List[dict] = []
+    for raw in data[:end].split(b"\n"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            events.append(json.loads(raw.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError):
+            continue
+    return events, offset + end + 1
 
 
 def read_events(path: str) -> List[dict]:

@@ -1,0 +1,71 @@
+"""Sweeps-as-a-service: an asyncio HTTP/JSON API over the runner.
+
+The ROADMAP's serving layer: instead of one-shot CLI sweeps, a
+long-lived process accepts spec grids over HTTP, runs them through the
+supervised pool + batch planner, shares one content-addressed result
+store across every sweep (warm cells are served at cache speed without
+touching the pool), and streams each sweep's JSONL telemetry live.
+
+* :mod:`repro.service.codec` — versioned JSON (de)serialization of
+  ``CellSpec`` / ``LeakageCellSpec`` grids; round-trip-exact, so an
+  HTTP-submitted spec hits the same cache key as a local one,
+* :mod:`repro.service.store` — the :class:`ResultStore` interface with
+  the disk-backed content-addressed cache behind it,
+* :mod:`repro.service.sweeps` — the HTTP-free core: validation, rate
+  and quota accounting, the bounded work queue, the sweep registry,
+  metrics,
+* :mod:`repro.service.ratelimit` — per-client token buckets + usage
+  accounting,
+* :mod:`repro.service.http` — minimal stdlib-asyncio HTTP/1.1
+  plumbing (no framework dependency),
+* :mod:`repro.service.app` — the endpoints and server lifecycle
+  (``run_server`` for ``python -m repro serve``, ``serve_in_thread``
+  for tests),
+* :mod:`repro.service.client` — blocking stdlib client used by tests,
+  CI and scripts,
+* :mod:`repro.service.smoke` — the end-to-end smoke harness CI runs
+  (``python -m repro.service.smoke``).
+"""
+
+from repro.service.app import ServerHandle, run_server, serve_in_thread
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.codec import (
+    CODEC_VERSION,
+    SpecValidationError,
+    decode_spec,
+    decode_sweep,
+    encode_result,
+    encode_spec,
+    encode_sweep,
+)
+from repro.service.ratelimit import ClientQuotas, TokenBucket
+from repro.service.store import DiskResultStore, ResultStore
+from repro.service.sweeps import (
+    ServiceConfig,
+    ServiceError,
+    Sweep,
+    SweepService,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "ClientQuotas",
+    "DiskResultStore",
+    "ResultStore",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceError",
+    "SpecValidationError",
+    "Sweep",
+    "SweepService",
+    "TokenBucket",
+    "decode_spec",
+    "decode_sweep",
+    "encode_result",
+    "encode_spec",
+    "encode_sweep",
+    "run_server",
+    "serve_in_thread",
+]

@@ -1,0 +1,150 @@
+"""Blocking HTTP client for the sweep service (stdlib only).
+
+A thin convenience wrapper over ``http.client`` used by the end-to-end
+tests, the CI smoke harness, and anyone scripting against a running
+``python -m repro serve``.  One connection per call, matching the
+server's ``Connection: close`` behaviour.
+
+Error responses raise :class:`ServiceClientError` carrying the HTTP
+status and the server's structured ``{"error": ...}`` payload, so a
+test can assert ``error.code == "rate_limited"`` instead of string-
+matching a body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.service.codec import encode_sweep
+
+#: states that end a sweep's lifecycle
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class ServiceClientError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+        error = self.payload.get("error", {})
+        self.code = error.get("code", "unknown")
+        super().__init__(f"HTTP {status} {self.code}: {error.get('message', payload)}")
+
+
+class ServiceClient:
+    """Talk to one service instance at ``host:port``."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: Optional[str] = None,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.client_id is not None:
+            headers["X-Repro-Client"] = self.client_id
+        return headers
+
+    def _request(self, method: str, path: str, body: Optional[Any] = None) -> Any:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = self._headers()
+            payload = None
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode("utf-8")) if raw else None
+            if response.status >= 400:
+                raise ServiceClientError(response.status, decoded)
+            return decoded
+        finally:
+            connection.close()
+
+    # -- API -----------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def submit(self, specs: Sequence[Any]) -> Dict[str, Any]:
+        """Encode and submit a grid of CellSpec/LeakageCellSpec values."""
+        return self.submit_payload(encode_sweep(specs))
+
+    def submit_payload(self, payload: Any) -> Dict[str, Any]:
+        """Submit an already-encoded (or deliberately malformed) body."""
+        return self._request("POST", "/sweeps", body=payload)
+
+    def sweep(self, sweep_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/sweeps/{sweep_id}")
+
+    def cancel(self, sweep_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/sweeps/{sweep_id}")
+
+    def results_page(self, sweep_id: str, offset: int = 0, limit: int = 256) -> Dict[str, Any]:
+        return self._request("GET", f"/sweeps/{sweep_id}/results?offset={offset}&limit={limit}")
+
+    def results(self, sweep_id: str, page_size: int = 256) -> List[Any]:
+        """Every encoded cell result, fetched page by page, in order."""
+        results: List[Any] = []
+        offset: Optional[int] = 0
+        while offset is not None:
+            page = self.results_page(sweep_id, offset=offset, limit=page_size)
+            results.extend(page["results"])
+            offset = page["next_offset"]
+        return results
+
+    def wait(self, sweep_id: str, timeout: float = 300.0, poll_s: float = 0.05) -> Dict[str, Any]:
+        """Poll until the sweep reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.sweep(sweep_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"sweep {sweep_id} still {status['state']} after {timeout}s")
+            time.sleep(poll_s)
+
+    def stream_events(
+        self, sweep_id: str, follow: bool = True, from_offset: int = 0
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield telemetry events as the server streams them.
+
+        Holds one connection open for the duration (the server chunks
+        the sweep's JSONL file and follows it until the sweep
+        finishes).
+        """
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            path = f"/sweeps/{sweep_id}/events?follow={1 if follow else 0}&from={from_offset}"
+            connection.request("GET", path, headers=self._headers())
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise ServiceClientError(response.status, json.loads(response.read() or b"{}"))
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()

@@ -1,0 +1,246 @@
+"""Versioned JSON codec for sweep specs (and cell results).
+
+The HTTP API transports :class:`~repro.runner.cells.CellSpec` and
+:class:`~repro.leakage.sweep.LeakageCellSpec` grids as JSON.  Both spec
+families are frozen dataclasses whose ``repr`` keys the content-
+addressed result cache, so the codec's contract is stronger than
+"parses back":
+
+    ``decode_spec(encode_spec(spec)) == spec``  (field-for-field), and
+    therefore produces the *identical* result-cache fingerprint.
+
+That round trip is pinned by a test; it is what lets a warm grid
+submitted over HTTP be served entirely from the shared
+:class:`~repro.service.store.ResultStore` without re-simulating.
+
+Every payload carries an explicit ``version``.  Decoding rejects a
+missing or unknown version — and any malformed field — with
+:class:`SpecValidationError`, which the HTTP layer surfaces as a
+structured 400.  Bump :data:`CODEC_VERSION` when the wire shape
+changes; old clients then get a clear error instead of a silently
+misparsed grid.
+
+Results travel one way (server -> client) and are encoded structurally
+(:func:`encode_result`): known result dataclasses become tagged JSON
+objects, scalars pass through, anything else falls back to ``repr``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import BASELINE_CONFIG, SimulatorConfig
+from repro.leakage.sweep import LeakageCellResult, LeakageCellSpec
+from repro.memory.dram import DramConfig
+from repro.runner.cells import CellSpec
+
+#: the spec wire-format version this server speaks
+CODEC_VERSION = 1
+
+#: spec families the codec understands: family tag -> dataclass
+SPEC_FAMILIES = {"cell": CellSpec, "leakage": LeakageCellSpec}
+
+
+class SpecValidationError(ValueError):
+    """A sweep payload failed validation; ``.detail`` says where."""
+
+    def __init__(self, message: str, cell_index: Optional[int] = None):
+        self.detail = message
+        self.cell_index = cell_index
+        where = f"cells[{cell_index}]: " if cell_index is not None else ""
+        super().__init__(f"{where}{message}")
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def encode_config(config: SimulatorConfig) -> Dict[str, Any]:
+    payload = dataclasses.asdict(config)
+    payload["dram"] = dataclasses.asdict(config.dram)
+    return payload
+
+
+def encode_spec(spec: Any) -> Dict[str, Any]:
+    """One spec as a plain-JSON dict (with its ``family`` tag)."""
+    if isinstance(spec, CellSpec):
+        payload: Dict[str, Any] = {"family": "cell"}
+        for field in dataclasses.fields(CellSpec):
+            value = getattr(spec, field.name)
+            if field.name == "config":
+                payload["config"] = encode_config(value)
+            else:
+                payload[field.name] = _encode_value(value)
+        return payload
+    if isinstance(spec, LeakageCellSpec):
+        payload = {"family": "leakage"}
+        for field in dataclasses.fields(LeakageCellSpec):
+            payload[field.name] = _encode_value(getattr(spec, field.name))
+        return payload
+    raise SpecValidationError(f"cannot encode spec of type {type(spec).__name__}")
+
+
+def encode_sweep(specs: Sequence[Any]) -> Dict[str, Any]:
+    """A whole grid as a ``POST /sweeps`` request body."""
+    return {
+        "version": CODEC_VERSION,
+        "cells": [encode_spec(spec) for spec in specs],
+    }
+
+
+# -- decoding -----------------------------------------------------------------
+
+
+def _require_int(payload: Dict, key: str, index: Optional[int]) -> Any:
+    value = payload[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecValidationError(f"field {key!r} must be an integer, got {value!r}", index)
+    return value
+
+
+def _check_types(payload: Dict, fields, index: Optional[int]) -> None:
+    for field in fields:
+        if field.name not in payload:
+            continue
+        value = payload[field.name]
+        if field.type in ("int", int):
+            _require_int(payload, field.name, index)
+        elif field.type in ("bool", bool) and not isinstance(value, bool):
+            raise SpecValidationError(
+                f"field {field.name!r} must be a boolean, got {value!r}",
+                index,
+            )
+        elif field.type in ("str", str) and not isinstance(value, str):
+            raise SpecValidationError(
+                f"field {field.name!r} must be a string, got {value!r}",
+                index,
+            )
+
+
+def _decode_window(value: Any, index: Optional[int]) -> Optional[Tuple[int, int]]:
+    if value is None:
+        return None
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or any(isinstance(bound, bool) or not isinstance(bound, int) for bound in value)
+    ):
+        raise SpecValidationError(
+            f"'window' must be null or a [a, b] pair of integers, got {value!r}",
+            index,
+        )
+    return (value[0], value[1])
+
+
+def _decode_config(value: Any, index: Optional[int]) -> SimulatorConfig:
+    if value is None:
+        return BASELINE_CONFIG
+    if not isinstance(value, dict):
+        raise SpecValidationError(f"'config' must be an object, got {value!r}", index)
+    payload = dict(value)
+    dram_payload = payload.pop("dram", None)
+    known = {field.name for field in dataclasses.fields(SimulatorConfig)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise SpecValidationError(f"unknown config fields: {', '.join(unknown)}", index)
+    try:
+        dram = DramConfig(**dram_payload) if dram_payload is not None else DramConfig()
+        return SimulatorConfig(**payload, dram=dram)
+    except (TypeError, ValueError) as error:
+        raise SpecValidationError(f"bad config: {error}", index) from None
+
+
+def decode_spec(payload: Any, index: Optional[int] = None) -> Any:
+    """One spec dict back into its frozen dataclass (validated)."""
+    if not isinstance(payload, dict):
+        raise SpecValidationError(
+            f"each cell must be an object, got {type(payload).__name__}",
+            index,
+        )
+    payload = dict(payload)
+    family = payload.pop("family", None)
+    if family not in SPEC_FAMILIES:
+        known = ", ".join(sorted(SPEC_FAMILIES))
+        raise SpecValidationError(f"unknown spec family {family!r}; known: {known}", index)
+    spec_cls = SPEC_FAMILIES[family]
+    fields = dataclasses.fields(spec_cls)
+    known_fields = {field.name for field in fields}
+    unknown = sorted(set(payload) - known_fields)
+    if unknown:
+        raise SpecValidationError(f"unknown {family} spec fields: {', '.join(unknown)}", index)
+    if "window" in payload:
+        payload["window"] = _decode_window(payload["window"], index)
+    if family == "cell":
+        if "config" in payload:
+            payload["config"] = _decode_config(payload["config"], index)
+    else:
+        if "curve_points" in payload:
+            points = payload["curve_points"]
+            if not isinstance(points, (list, tuple)):
+                raise SpecValidationError(
+                    f"'curve_points' must be a list of integers, got {points!r}",
+                    index,
+                )
+            if any(isinstance(p, bool) or not isinstance(p, int) for p in points):
+                raise SpecValidationError(
+                    f"'curve_points' must be a list of integers, got {points!r}",
+                    index,
+                )
+            payload["curve_points"] = tuple(points)
+    _check_types(payload, fields, index)
+    try:
+        return spec_cls(**payload)
+    except (TypeError, ValueError) as error:
+        raise SpecValidationError(str(error), index) from None
+
+
+def decode_sweep(payload: Any) -> List[Any]:
+    """A ``POST /sweeps`` body back into a list of specs.
+
+    Validates the envelope (codec version, ``cells`` list) and every
+    cell; any problem raises :class:`SpecValidationError` naming the
+    offending cell.
+    """
+    if not isinstance(payload, dict):
+        raise SpecValidationError("request body must be a JSON object")
+    version = payload.get("version")
+    if version is None:
+        raise SpecValidationError(
+            f"missing spec codec 'version' (this server speaks version {CODEC_VERSION})"
+        )
+    if version != CODEC_VERSION:
+        raise SpecValidationError(
+            f"unknown spec codec version {version!r} (this server speaks version {CODEC_VERSION})"
+        )
+    cells = payload.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise SpecValidationError("'cells' must be a non-empty list")
+    return [decode_spec(cell, index=i) for i, cell in enumerate(cells)]
+
+
+# -- results ------------------------------------------------------------------
+
+
+def encode_result(result: Any) -> Dict[str, Any]:
+    """One cell result as a tagged JSON object.
+
+    The encoding is *structural and deterministic*: two bit-identical
+    results encode to equal JSON, which is how the end-to-end test pins
+    HTTP-fetched results against a direct ``run_cells`` call.
+    """
+    if isinstance(result, LeakageCellResult):
+        return {"type": "LeakageCellResult", **result.to_json()}
+    if isinstance(result, (int, float)) and not isinstance(result, bool):
+        return {"type": "scalar", "value": result}
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return {
+            "type": type(result).__name__,
+            **{key: _encode_value(value) for key, value in dataclasses.asdict(result).items()},
+        }
+    return {"type": type(result).__name__, "repr": repr(result)}

@@ -1,0 +1,236 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the sweep service.
+
+Deliberately tiny and dependency-free: the container ships no web
+framework, and the service needs exactly four things — parse a
+request, match a route with ``{placeholders}``, send a JSON response,
+and stream a body with chunked transfer encoding.  Everything is
+stdlib ``asyncio`` streams.
+
+Connections are handled one request at a time with
+``Connection: close`` semantics (the clients this serves — the bundled
+:mod:`repro.service.client`, curl, CI smoke — open a connection per
+call).  Malformed requests get structured JSON errors, never a
+traceback on the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: request body ceiling (a 4096-cell grid of full-config specs is ~3 MB)
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: request line + single header line ceiling
+_MAX_LINE = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """An HTTP-level refusal with a structured JSON body."""
+
+    def __init__(self, status: int, code: str, message: str, **extra: Any):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.extra = extra
+
+    def payload(self) -> Dict[str, Any]:
+        return {"error": {"code": self.code, "message": str(self), **self.extra}}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    client: str
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise HttpError(400, "bad_json", f"request body is not valid JSON: {error}") from None
+
+    def client_id(self) -> str:
+        """Rate-limit key: explicit header first, else the peer host."""
+        return self.headers.get("x-repro-client", self.client)
+
+    def int_query(self, name: str, default: int) -> int:
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise HttpError(
+                400,
+                "bad_query",
+                f"query parameter {name!r} must be an integer, got {raw!r}",
+            ) from None
+
+
+async def read_request(reader: asyncio.StreamReader, client: str) -> Optional[Request]:
+    """Parse one request; ``None`` on a cleanly closed connection."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError:
+        return None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "bad_request", "request line too long") from None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, "bad_request", "malformed request line")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "bad_request", "truncated request headers") from None
+        if len(raw) > _MAX_LINE:
+            raise HttpError(400, "bad_request", "header line too long")
+        text = raw.decode("latin-1").strip()
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, "bad_request", "malformed Content-Length") from None
+        if n > MAX_BODY_BYTES:
+            raise HttpError(
+                413,
+                "body_too_large",
+                f"request body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte ceiling",
+            )
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise HttpError(
+                400, "bad_request", "request body shorter than Content-Length"
+            ) from None
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+        client=client,
+    )
+
+
+def _head(status: int, content_type: str, extra: str = "") -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Connection: close\r\n{extra}"
+    ).encode("latin-1")
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    body = (json.dumps(payload, sort_keys=True, default=repr) + "\n").encode("utf-8")
+    return _head(status, "application/json", f"Content-Length: {len(body)}\r\n\r\n") + body
+
+
+class ChunkWriter:
+    """Chunked transfer encoding for the ``/events`` stream."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.started = False
+
+    async def start(self, content_type: str = "application/x-ndjson") -> None:
+        self.writer.write(_head(200, content_type, "Transfer-Encoding: chunked\r\n\r\n"))
+        await self.writer.drain()
+        self.started = True
+
+    async def send(self, data: bytes) -> None:
+        if not data:
+            return
+        self.writer.write(f"{len(data):x}\r\n".encode("latin-1"))
+        self.writer.write(data + b"\r\n")
+        await self.writer.drain()
+
+    async def finish(self) -> None:
+        self.writer.write(b"0\r\n\r\n")
+        await self.writer.drain()
+
+
+#: handler signature: ``async (request, writer) -> bytes | None`` —
+#: bytes is a complete response; ``None`` means the handler streamed
+#: its own response through the writer.
+Handler = Callable[..., Any]
+
+
+class Router:
+    """Method + path-template routing with ``{param}`` captures."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        segments = tuple(seg for seg in template.strip("/").split("/") if seg)
+        self._routes.append((method.upper(), segments, handler))
+
+    def match(self, request: Request) -> Handler:
+        segments = tuple(seg for seg in request.path.strip("/").split("/") if seg)
+        path_matched = False
+        for method, template, handler in self._routes:
+            params = _match_segments(template, segments)
+            if params is None:
+                continue
+            path_matched = True
+            if method != request.method:
+                continue
+            request.params = params
+            return handler
+        if path_matched:
+            raise HttpError(
+                405,
+                "method_not_allowed",
+                f"{request.method} is not supported on {request.path}",
+            )
+        raise HttpError(404, "not_found", f"no route for {request.path}")
+
+
+def _match_segments(
+    template: Tuple[str, ...], segments: Tuple[str, ...]
+) -> Optional[Dict[str, str]]:
+    if len(template) != len(segments):
+        return None
+    params: Dict[str, str] = {}
+    for pattern, actual in zip(template, segments):
+        if pattern.startswith("{") and pattern.endswith("}"):
+            params[pattern[1:-1]] = actual
+        elif pattern != actual:
+            return None
+    return params

@@ -1,0 +1,90 @@
+"""Per-client rate limiting and quota accounting for the service.
+
+Each client (the ``X-Repro-Client`` header, falling back to the peer
+address) gets a token bucket: ``rate`` submissions per second refill,
+``burst`` capacity.  A submission that finds the bucket empty is
+refused — the HTTP layer answers with a structured 429 carrying
+``retry_after_s``.
+
+Alongside the buckets, :class:`ClientQuotas` keeps per-client
+accounting (sweeps accepted/rejected, cells submitted) which
+``/metrics`` reports, so a service operator can see who is producing
+the load without any external infrastructure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+
+class TokenBucket:
+    """Classic token bucket; ``allow()`` is called under the owner's lock."""
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.last_refill = time.monotonic()
+
+    def allow(self, now: Optional[float] = None) -> bool:
+        now = time.monotonic() if now is None else now
+        self.tokens = min(self.burst, self.tokens + (now - self.last_refill) * self.rate)
+        self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until one token is available (0 when rate is 0)."""
+        if self.rate <= 0:
+            return 0.0
+        return max(0.0, (1.0 - self.tokens) / self.rate)
+
+
+class ClientQuotas:
+    """Token bucket + usage counters per client id, thread-safe."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 submissions/s, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._usage: Dict[str, Dict[str, int]] = {}
+
+    def _usage_for(self, client: str) -> Dict[str, int]:
+        return self._usage.setdefault(client, {"accepted": 0, "rejected": 0, "cells": 0})
+
+    def admit(self, client: str) -> Optional[float]:
+        """``None`` if the submission may proceed, else the suggested
+        retry-after in seconds (and the rejection is accounted)."""
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(self.rate, self.burst)
+            if bucket.allow():
+                return None
+            self._usage_for(client)["rejected"] += 1
+            return round(bucket.retry_after_s(), 3)
+
+    def account_accepted(self, client: str, cells: int) -> None:
+        with self._lock:
+            usage = self._usage_for(client)
+            usage["accepted"] += 1
+            usage["cells"] += cells
+
+    def account_rejected(self, client: str) -> None:
+        """A non-rate rejection (bad spec, full queue) — counted so the
+        quota view reflects every refused submission."""
+        with self._lock:
+            self._usage_for(client)["rejected"] += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {client: dict(usage) for client, usage in self._usage.items()}

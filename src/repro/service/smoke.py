@@ -1,0 +1,159 @@
+"""End-to-end HTTP smoke harness: ``python -m repro.service.smoke``.
+
+Boots a real service (ephemeral port, isolated result store and spool
+directory), then drives it over real sockets exactly like an external
+client would:
+
+1. submit a small Figure-10 grid (``POST /sweeps``),
+2. stream its telemetry while it runs (``GET /sweeps/{id}/events``),
+3. fetch the paginated results and pin them **bit-identical** against
+   a direct in-process ``run_cells`` of the same specs,
+4. re-submit the identical grid and assert the warm run is served
+   entirely from the shared result store — zero cells simulated, no
+   pool work — and that ``/metrics`` shows the cache hits,
+5. exercise the structured failure paths: malformed spec -> 400,
+   unknown codec version -> 400.
+
+Exits non-zero on the first broken assertion.  ``--artifact PATH``
+copies the per-sweep telemetry JSONL next to the working directory so
+CI can upload it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+from typing import List
+
+from repro.runner.cells import CellSpec
+from repro.runner.pool import run_cells
+from repro.runner.result_cache import ResultCache
+from repro.service.app import serve_in_thread
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.codec import CODEC_VERSION, encode_result, encode_spec
+from repro.service.store import DiskResultStore
+from repro.service.sweeps import ServiceConfig, SweepService
+
+
+def smoke_grid(n_refs: int) -> List[CellSpec]:
+    """A miniature Figure-10 slice: 2 benchmarks x 2 window shapes."""
+    return [
+        CellSpec(kind="general", benchmark=benchmark, window=window, n_refs=n_refs, seed=3)
+        for benchmark in ("astar", "bzip2")
+        for window in ((0, 0), (4, 3))
+    ]
+
+
+def check(ok: bool, what: str) -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {what}")
+    if not ok:
+        sys.exit(f"service smoke failed: {what}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(prog="python -m repro.service.smoke")
+    parser.add_argument(
+        "--n-refs", type=int, default=8000, help="trace length per cell (default 8000)"
+    )
+    parser.add_argument("--artifact", default="", help="copy the per-sweep telemetry JSONL here")
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="repro-smoke-")
+    store = DiskResultStore(ResultCache(disk_dir=f"{workdir}/results"))
+    config = ServiceConfig(
+        host="127.0.0.1",
+        port=0,
+        jobs=2,
+        queue_depth=4,
+        max_cells_per_request=64,
+        rate=50.0,
+        burst=50.0,
+        spool_dir=f"{workdir}/spool",
+    )
+    service = SweepService(config, store=store)
+    handle = serve_in_thread(config, service=service)
+    client = ServiceClient(handle.host, handle.port, client_id="ci-smoke")
+    print(f"service smoke against {handle.base_url}")
+    try:
+        check(client.healthz()["ok"], "GET /healthz")
+
+        specs = smoke_grid(args.n_refs)
+        accepted = client.submit(specs)
+        sweep_id = accepted["id"]
+        check(
+            accepted["cells"] == len(specs),
+            f"POST /sweeps accepted {len(specs)} cells (id {sweep_id})",
+        )
+
+        seen = [event["event"] for event in client.stream_events(sweep_id)]
+        check(
+            "sweep_submitted" in seen and "run_finish" in seen and "sweep_finish" in seen,
+            f"GET /sweeps/{{id}}/events streamed {len(seen)} events "
+            f"(incl. sweep_submitted/run_finish/sweep_finish)",
+        )
+        check(
+            any(event == "sweep_start" for event in seen),
+            "sweep_start (queue_wait_s) present in the stream",
+        )
+
+        status = client.wait(sweep_id, timeout=600)
+        check(
+            status["state"] == "done",
+            f"sweep finished: {status['state']} in {status['run_seconds']:.2f}s",
+        )
+
+        over_http = client.results(sweep_id, page_size=3)
+        direct = run_cells(
+            specs, jobs=1, result_cache=ResultCache(disk_dir=None, use_default_disk_dir=False)
+        )
+        expected = [encode_result(result) for result in direct]
+        check(over_http == expected, "HTTP results bit-identical to direct run_cells")
+
+        warm = client.submit(specs)
+        warm_status = client.wait(warm["id"], timeout=120)
+        stats = warm_status["last_run_stats"]
+        check(
+            stats["result_cache_hits"] == len(specs) and stats["result_cache_misses"] == 0,
+            f"warm re-submission served {len(specs)}/{len(specs)} cells from the shared store",
+        )
+        warm_events = [event["event"] for event in client.stream_events(warm["id"])]
+        check(
+            "cell_start" not in warm_events and "batch_start" not in warm_events,
+            "warm re-submission scheduled zero pool work",
+        )
+        metrics = client.metrics()
+        check(
+            metrics["result_store"]["hits"] >= len(specs),
+            f"/metrics reports the store hits ({metrics['result_store']['hits']})",
+        )
+
+        try:
+            client.submit_payload(
+                {"version": CODEC_VERSION, "cells": [{"family": "cell", "kind": "nonsense"}]}
+            )
+            check(False, "malformed spec rejected")
+        except ServiceClientError as error:
+            check(
+                error.status == 400 and error.code == "invalid_spec",
+                f"malformed spec -> structured 400 ({error.code})",
+            )
+        try:
+            client.submit_payload({"version": 999, "cells": [encode_spec(specs[0])]})
+            check(False, "unknown codec version rejected")
+        except ServiceClientError as error:
+            check(error.status == 400, "unknown codec version -> 400")
+
+        if args.artifact:
+            source = service.get(sweep_id).events_path
+            shutil.copyfile(source, args.artifact)
+            print(f"  telemetry artifact: {args.artifact}")
+        print("service smoke ok")
+    finally:
+        handle.stop()
+
+
+if __name__ == "__main__":
+    main()

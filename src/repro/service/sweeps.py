@@ -1,0 +1,360 @@
+"""Sweep service core: submission, registry, telemetry, metrics.
+
+:class:`SweepService` is the HTTP-free heart of ``repro.service``:
+it validates submitted grids through the versioned codec, enforces
+per-client rate limits and the per-request cell ceiling, queues work on
+a :class:`~repro.runner.jobs.JobRunner`, and tracks every sweep in a
+registry the API handlers read.  All of it is plain synchronous code
+guarded by locks, callable from the asyncio handlers and from tests
+alike.
+
+Each accepted sweep gets its own JSONL telemetry file under the spool
+directory.  The service writes the ``sweep_submitted`` /
+``sweep_start`` (with ``queue_wait_s``) / ``sweep_finish`` prologue
+rows; ``run_cells`` appends its ordinary run events to the same file —
+so one file is the complete audit trail of one sweep, and the
+``/events`` endpoint simply streams it.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.runner.jobs import JobHandle, JobQueueFull, JobRunner
+from repro.runner.telemetry import Telemetry
+from repro.service.codec import SpecValidationError, decode_sweep, encode_result
+from repro.service.ratelimit import ClientQuotas
+from repro.service.store import DiskResultStore, ResultStore
+
+
+@dataclass
+class ServiceConfig:
+    """Every knob of one service instance (CLI flags mirror these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8322
+    jobs: Optional[int] = None  # worker processes per sweep
+    queue_depth: int = 16  # sweeps waiting, beyond the running one
+    max_cells_per_request: int = 4096
+    rate: float = 10.0  # submissions per second per client
+    burst: float = 20.0
+    spool_dir: Optional[str] = None  # per-sweep telemetry files
+    keep_sweeps: int = 256  # finished sweeps kept in the registry
+
+
+class ServiceError(Exception):
+    """A request the service refuses; carries the structured payload."""
+
+    def __init__(self, status: int, code: str, message: str, **extra: Any):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.extra = extra
+
+    def payload(self) -> Dict[str, Any]:
+        return {"error": {"code": self.code, "message": str(self), **self.extra}}
+
+
+@dataclass
+class Sweep:
+    """Registry entry: one accepted sweep and its job handle."""
+
+    sweep_id: str
+    handle: JobHandle
+    client: str
+    cells: int
+    events_path: str
+    created_at: float = field(default_factory=time.time)
+
+    def status(self) -> Dict[str, Any]:
+        poll = self.handle.poll()
+        return {
+            "id": self.sweep_id,
+            "state": poll["state"],
+            "cells": self.cells,
+            "client": self.client,
+            "created_at": self.created_at,
+            "queue_wait_s": poll["queue_wait_s"],
+            "run_seconds": poll["run_seconds"],
+            "error": poll["error"],
+            "last_run_stats": poll["stats"],
+        }
+
+
+class SweepService:
+    """Everything the HTTP handlers delegate to."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        store: Optional[ResultStore] = None,
+        runner: Optional[JobRunner] = None,
+    ):
+        self.config = config
+        self.store = store if store is not None else DiskResultStore()
+        self.runner = runner if runner is not None else JobRunner(queue_depth=config.queue_depth)
+        self.quotas = ClientQuotas(rate=config.rate, burst=config.burst)
+        self.spool_dir = config.spool_dir or tempfile.mkdtemp(prefix="repro-service-")
+        os.makedirs(self.spool_dir, exist_ok=True)
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._sweeps: Dict[str, Sweep] = {}
+        self._order: List[str] = []
+        self._sweep_seconds: List[float] = []
+        self._counters = {
+            "submitted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
+
+    # -- telemetry helpers ---------------------------------------------------
+
+    def _events_path(self, sweep_id: str) -> str:
+        return os.path.join(self.spool_dir, f"sweep-{sweep_id}.jsonl")
+
+    def _service_log(self) -> str:
+        return os.path.join(self.spool_dir, "service.jsonl")
+
+    def _emit(self, path: str, event: str, **fields: Any) -> None:
+        with Telemetry(path=path, progress=False) as telemetry:
+            telemetry.emit(event, **fields)
+
+    def _reject(self, client: str, reason: str, **fields: Any) -> None:
+        with self._lock:
+            self._counters["rejected"] += 1
+        self._emit(
+            self._service_log(),
+            "sweep_rejected",
+            reason=reason,
+            client=client,
+            **fields,
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, payload: Any, client: str) -> Dict[str, Any]:
+        """Validate and queue one sweep; the 202 response body.
+
+        Raises :class:`ServiceError` with the structured 400/429
+        payloads for malformed specs, rate-limited clients, oversized
+        grids, and a full work queue.
+        """
+        retry_after = self.quotas.admit(client)
+        if retry_after is not None:
+            self._reject(client, "rate_limited", retry_after_s=retry_after)
+            raise ServiceError(
+                429,
+                "rate_limited",
+                f"client {client!r} exceeded {self.config.rate:g} "
+                f"submissions/s (burst {self.config.burst:g})",
+                retry_after_s=retry_after,
+            )
+        try:
+            specs = decode_sweep(payload)
+        except SpecValidationError as error:
+            self.quotas.account_rejected(client)
+            self._reject(client, "invalid_spec", detail=str(error))
+            raise ServiceError(400, "invalid_spec", str(error)) from None
+        if len(specs) > self.config.max_cells_per_request:
+            self.quotas.account_rejected(client)
+            self._reject(client, "too_many_cells", cells=len(specs))
+            raise ServiceError(
+                400,
+                "too_many_cells",
+                f"{len(specs)} cells exceeds the per-request ceiling of "
+                f"{self.config.max_cells_per_request} (--max-cells-per-request)",
+                cells=len(specs),
+                max_cells_per_request=self.config.max_cells_per_request,
+            )
+
+        sweep_id = secrets.token_hex(6)
+        events_path = self._events_path(sweep_id)
+        try:
+            handle = self.runner.submit(
+                specs,
+                on_transition=self._make_observer(sweep_id, events_path),
+                jobs=self.config.jobs,
+                result_cache=self.store,
+                telemetry=events_path,
+                progress=False,
+            )
+        except JobQueueFull as error:
+            self.quotas.account_rejected(client)
+            self._reject(client, "queue_full", queue_depth=self.runner.queue_depth)
+            raise ServiceError(
+                429,
+                "queue_full",
+                str(error),
+                queue_depth=self.runner.queue_depth,
+            ) from None
+        self.quotas.account_accepted(client, len(specs))
+        self._emit(
+            events_path,
+            "sweep_submitted",
+            sweep=sweep_id,
+            cells=len(specs),
+            client=client,
+        )
+        sweep = Sweep(
+            sweep_id=sweep_id,
+            handle=handle,
+            client=client,
+            cells=len(specs),
+            events_path=events_path,
+        )
+        with self._lock:
+            self._counters["submitted"] += 1
+            self._sweeps[sweep_id] = sweep
+            self._order.append(sweep_id)
+            self._prune_locked()
+        return {
+            "id": sweep_id,
+            "state": handle.state,
+            "cells": len(specs),
+            "links": {
+                "status": f"/sweeps/{sweep_id}",
+                "results": f"/sweeps/{sweep_id}/results",
+                "events": f"/sweeps/{sweep_id}/events",
+            },
+        }
+
+    def _make_observer(self, sweep_id: str, events_path: str):
+        def observer(handle: JobHandle, state: str) -> None:
+            if state == "running":
+                self._emit(
+                    events_path,
+                    "sweep_start",
+                    sweep=sweep_id,
+                    queue_wait_s=round(handle.queue_wait_s or 0.0, 6),
+                )
+                return
+            counter = {
+                "done": "completed",
+                "failed": "failed",
+                "cancelled": "cancelled",
+            }.get(state)
+            with self._lock:
+                if counter is not None:
+                    self._counters[counter] += 1
+                if state == "done" and handle.run_seconds is not None:
+                    self._sweep_seconds.append(handle.run_seconds)
+                    del self._sweep_seconds[:-1000]
+            self._emit(
+                events_path,
+                "sweep_finish",
+                sweep=sweep_id,
+                state=state,
+                error=handle.error,
+                run_seconds=handle.run_seconds,
+                **handle.stats,
+            )
+
+        return observer
+
+    def _prune_locked(self) -> None:
+        while len(self._order) > self.config.keep_sweeps:
+            for candidate in self._order:
+                if self._sweeps[candidate].handle.finished:
+                    self._order.remove(candidate)
+                    del self._sweeps[candidate]
+                    break
+            else:
+                return  # nothing finished yet; keep everything live
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, sweep_id: str) -> Sweep:
+        with self._lock:
+            sweep = self._sweeps.get(sweep_id)
+        if sweep is None:
+            raise ServiceError(404, "unknown_sweep", f"no sweep {sweep_id!r}")
+        return sweep
+
+    def results_page(self, sweep_id: str, offset: int = 0, limit: int = 256) -> Dict[str, Any]:
+        """One page of a finished sweep's encoded cell results."""
+        sweep = self.get(sweep_id)
+        state = sweep.handle.state
+        if state != "done":
+            raise ServiceError(
+                409,
+                "not_finished",
+                f"sweep {sweep_id} is {state}; results exist only for completed sweeps",
+                state=state,
+            )
+        results = sweep.handle.result()
+        if offset < 0 or limit < 1:
+            raise ServiceError(
+                400,
+                "bad_page",
+                f"offset must be >= 0 and limit >= 1, got offset={offset} limit={limit}",
+            )
+        page = results[offset : offset + limit]
+        next_offset = offset + len(page)
+        return {
+            "id": sweep_id,
+            "total": len(results),
+            "offset": offset,
+            "count": len(page),
+            "next_offset": next_offset if next_offset < len(results) else None,
+            "results": [encode_result(result) for result in page],
+        }
+
+    def cancel(self, sweep_id: str) -> Dict[str, Any]:
+        sweep = self.get(sweep_id)
+        sweep.handle.cancel()
+        return sweep.status()
+
+    # -- health & metrics ----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "queue_depth": self.runner.queued(),
+            "running": self.runner.running() is not None,
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            states: Dict[str, int] = {}
+            for sweep in self._sweeps.values():
+                state = sweep.handle.state
+                states[state] = states.get(state, 0) + 1
+            seconds = sorted(self._sweep_seconds)
+        latency = {"count": len(seconds)}
+        for name, q in (("p50_s", 0.50), ("p95_s", 0.95), ("p99_s", 0.99)):
+            if seconds:
+                rank = min(len(seconds) - 1, int(round(q * (len(seconds) - 1))))
+                latency[name] = round(seconds[rank], 6)
+            else:
+                latency[name] = 0.0
+        return {
+            "queue": {
+                "depth": self.runner.queued(),
+                "capacity": self.runner.queue_depth,
+                "running": self.runner.running() is not None,
+            },
+            "sweeps": {**counters, "states": states},
+            "result_store": self.store.stats_snapshot(),
+            "sweep_latency": latency,
+            "clients": self.quotas.snapshot(),
+            "limits": {
+                "rate_per_s": self.config.rate,
+                "burst": self.config.burst,
+                "max_cells_per_request": self.config.max_cells_per_request,
+            },
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.runner.shutdown(wait=wait)

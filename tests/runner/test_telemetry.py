@@ -2,10 +2,16 @@
 
 import io
 import json
+import threading
 
 from repro.runner.pool import last_run_stats, run_cells
 from repro.runner.result_cache import ResultCache
-from repro.runner.telemetry import Telemetry, read_events, rss_kb
+from repro.runner.telemetry import (
+    Telemetry,
+    read_events,
+    read_events_incremental,
+    rss_kb,
+)
 
 
 class TokenSpec:
@@ -68,6 +74,89 @@ class TestTelemetrySink:
     def test_rss_is_positive_on_posix(self):
         value = rss_kb()
         assert value is None or value > 0
+
+
+class TestIncrementalReader:
+    """``read_events_incremental`` is what the service's streaming
+    endpoint polls while the writer is still appending — it must never
+    consume a partially-written trailing line, and a follow-up call
+    from the returned offset must pick up exactly where it left off."""
+
+    def test_empty_and_missing_files(self, tmp_path):
+        missing = str(tmp_path / "absent.jsonl")
+        assert read_events_incremental(missing) == ([], 0)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        assert read_events_incremental(str(empty)) == ([], 0)
+
+    def test_partial_trailing_line_is_left_for_next_call(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_bytes(b'{"event": "a"}\n{"event": "b"')
+        events, offset = read_events_incremental(str(path))
+        assert [e["event"] for e in events] == ["a"]
+        assert offset == len(b'{"event": "a"}\n')
+        # Writer finishes the line; resuming from offset sees only "b".
+        with open(path, "ab") as fh:
+            fh.write(b"}\n")
+        events, offset = read_events_incremental(str(path), offset)
+        assert [e["event"] for e in events] == ["b"]
+        assert offset == path.stat().st_size
+
+    def test_offset_resume_never_duplicates(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        offset = 0
+        seen = []
+        with Telemetry(path=path, progress=False) as telemetry:
+            for i in range(10):
+                telemetry.emit("tick", i=i)
+                events, offset = read_events_incremental(path, offset)
+                seen.extend(events)
+        assert [e["i"] for e in seen] == list(range(10))
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_bytes(b'{"event": "a"}\nnot json\n{"event": "b"}\n')
+        events, offset = read_events_incremental(str(path))
+        assert [e["event"] for e in events] == ["a", "b"]
+        assert offset == path.stat().st_size
+
+    def test_concurrent_reader_against_appending_writer(self, tmp_path):
+        # Satellite 3: a reader polling the file while the writer is
+        # actively appending — including writes deliberately split
+        # mid-line — recovers every event exactly once, in order.
+        path = str(tmp_path / "live.jsonl")
+        total = 400
+        done = threading.Event()
+
+        def writer():
+            with open(path, "ab") as fh:
+                for i in range(total):
+                    line = json.dumps({"event": "tick", "i": i}).encode()
+                    line += b"\n"
+                    # Split every other line into two flushes so the
+                    # reader routinely observes a partial tail.
+                    if i % 2:
+                        cut = len(line) // 2
+                        fh.write(line[:cut])
+                        fh.flush()
+                        fh.write(line[cut:])
+                    else:
+                        fh.write(line)
+                    fh.flush()
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        seen = []
+        offset = 0
+        while True:
+            finished = done.is_set()
+            events, offset = read_events_incremental(path, offset)
+            seen.extend(events)
+            if finished and len(seen) >= total:
+                break
+        thread.join()
+        assert [e["i"] for e in seen] == list(range(total))
 
 
 class TestProgressLine:

@@ -1,0 +1,186 @@
+"""Tests for the versioned JSON spec codec (round trips, validation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import BASELINE_CONFIG
+from repro.leakage.sweep import LeakageCellSpec, leakage_grid
+from repro.memory.dram import DramConfig
+from repro.runner.cells import CellSpec
+from repro.runner.result_cache import ResultCache
+from repro.service.codec import (
+    CODEC_VERSION,
+    SpecValidationError,
+    decode_spec,
+    decode_sweep,
+    encode_result,
+    encode_spec,
+    encode_sweep,
+)
+
+CELL_SPECS = [
+    CellSpec(kind="general", benchmark="astar", window=(4, 3), n_refs=2000),
+    CellSpec(kind="general", benchmark="bzip2", window=None, warm=False),
+    CellSpec(kind="crypto", scheme="plcache", window=None, message_kb=8,
+             seed=7),
+    CellSpec(kind="concurrent", scheme="random_fill", benchmark="sjeng",
+             window=(16, 15), aes_kb=2),
+    CellSpec(kind="profile", benchmark="lbm", window=(8, 7), seed=3),
+    CellSpec(kind="general", benchmark="astar", window=(0, 0),
+             config=BASELINE_CONFIG.with_l1d(8 * 1024, 1)),
+    CellSpec(kind="general", benchmark="astar", window=(2, 1),
+             config=dataclasses.replace(
+                 BASELINE_CONFIG, dram=DramConfig(t_cas=30, num_banks=4))),
+]
+
+LEAKAGE_SPECS = leakage_grid(seeds=(0, 1), window_sizes=(2, 8))[:12] + [
+    LeakageCellSpec(channel="occupancy", scheme="newcache", window=None,
+                    m_lines=8, trials=11, curve_points=(1, 4),
+                    curve_repeats=17),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", CELL_SPECS + LEAKAGE_SPECS,
+                             ids=lambda s: repr(s)[:60])
+    def test_decode_encode_is_identity(self, spec):
+        assert decode_spec(encode_spec(spec)) == spec
+
+    @pytest.mark.parametrize("spec", CELL_SPECS + LEAKAGE_SPECS,
+                             ids=lambda s: repr(s)[:60])
+    def test_round_trip_preserves_result_cache_key(self, spec):
+        # The pin the warm-grid path rests on: an HTTP-submitted spec
+        # must hit the same content-addressed entry as a local one.
+        decoded = decode_spec(encode_spec(spec))
+        assert repr(decoded) == repr(spec)
+        assert ResultCache.fingerprint(decoded) == ResultCache.fingerprint(spec)
+
+    def test_sweep_envelope_round_trip(self):
+        specs = CELL_SPECS[:2] + LEAKAGE_SPECS[:2]
+        payload = encode_sweep(specs)
+        assert payload["version"] == CODEC_VERSION
+        assert decode_sweep(payload) == specs
+
+    def test_encoded_payload_is_json_clean(self):
+        import json
+        text = json.dumps(encode_sweep(CELL_SPECS + LEAKAGE_SPECS))
+        assert decode_sweep(json.loads(text)) == CELL_SPECS + LEAKAGE_SPECS
+
+
+class TestEnvelopeValidation:
+    def test_missing_version(self):
+        with pytest.raises(SpecValidationError, match="missing spec codec"):
+            decode_sweep({"cells": [encode_spec(CELL_SPECS[0])]})
+
+    def test_unknown_version_names_both_versions(self):
+        with pytest.raises(SpecValidationError) as excinfo:
+            decode_sweep({"version": 999, "cells": []})
+        assert "999" in str(excinfo.value)
+        assert str(CODEC_VERSION) in str(excinfo.value)
+
+    def test_body_must_be_object(self):
+        with pytest.raises(SpecValidationError, match="JSON object"):
+            decode_sweep([1, 2])
+
+    def test_cells_must_be_nonempty_list(self):
+        with pytest.raises(SpecValidationError, match="non-empty"):
+            decode_sweep({"version": CODEC_VERSION, "cells": []})
+
+    def test_error_names_the_offending_cell(self):
+        payload = encode_sweep([CELL_SPECS[0], CELL_SPECS[1]])
+        payload["cells"][1]["kind"] = "bogus"
+        with pytest.raises(SpecValidationError, match=r"cells\[1\]"):
+            decode_sweep(payload)
+
+
+class TestSpecValidation:
+    def test_unknown_family(self):
+        with pytest.raises(SpecValidationError, match="unknown spec family"):
+            decode_spec({"family": "nope"})
+
+    def test_unknown_field_rejected(self):
+        payload = encode_spec(CELL_SPECS[0])
+        payload["surprise"] = 1
+        with pytest.raises(SpecValidationError, match="surprise"):
+            decode_spec(payload)
+
+    def test_window_must_be_pair(self):
+        payload = encode_spec(CELL_SPECS[0])
+        payload["window"] = [1, 2, 3]
+        with pytest.raises(SpecValidationError, match="window"):
+            decode_spec(payload)
+
+    def test_window_bounds_must_be_ints(self):
+        payload = encode_spec(CELL_SPECS[0])
+        payload["window"] = [1.5, 2]
+        with pytest.raises(SpecValidationError, match="window"):
+            decode_spec(payload)
+
+    def test_int_fields_reject_strings_and_bools(self):
+        payload = encode_spec(CELL_SPECS[0])
+        payload["n_refs"] = "many"
+        with pytest.raises(SpecValidationError, match="n_refs"):
+            decode_spec(payload)
+        payload["n_refs"] = True
+        with pytest.raises(SpecValidationError, match="n_refs"):
+            decode_spec(payload)
+
+    def test_dataclass_validation_is_surfaced(self):
+        # __post_init__ errors (unknown scheme) become SpecValidationError.
+        payload = encode_spec(LEAKAGE_SPECS[0])
+        payload["scheme"] = "unheard_of"
+        with pytest.raises(SpecValidationError, match="unheard_of"):
+            decode_spec(payload)
+
+    def test_unknown_config_field_rejected(self):
+        payload = encode_spec(CELL_SPECS[0])
+        payload["config"]["warp_drive"] = 9
+        with pytest.raises(SpecValidationError, match="warp_drive"):
+            decode_spec(payload)
+
+    def test_omitted_config_defaults_to_baseline(self):
+        payload = encode_spec(CELL_SPECS[0])
+        del payload["config"]
+        assert decode_spec(payload).config == BASELINE_CONFIG
+
+    def test_curve_points_must_be_int_list(self):
+        payload = encode_spec(LEAKAGE_SPECS[0])
+        payload["curve_points"] = ["a"]
+        with pytest.raises(SpecValidationError, match="curve_points"):
+            decode_spec(payload)
+
+
+class TestResultEncoding:
+    def test_scalar(self):
+        assert encode_result(0.75) == {"type": "scalar", "value": 0.75}
+
+    def test_sim_result_dataclass(self):
+        from repro.cpu.timing import SimResult
+        result = SimResult(instructions=10, cycles=20, l1_accesses=5,
+                           l1_hits=4, l1_demand_misses=1, l2_accesses=1,
+                           l2_demand_misses=1, memory_lines=1)
+        encoded = encode_result(result)
+        assert encoded["type"] == "SimResult"
+        assert encoded["instructions"] == 10
+        assert encoded["cycles"] == 20
+
+    def test_leakage_result_uses_to_json(self):
+        spec = LeakageCellSpec(channel="eq7", scheme="random_fill",
+                               window=(1, 0), trials=20, curve_points=(1,),
+                               curve_repeats=5)
+        encoded = encode_result(spec.run())
+        assert encoded["type"] == "LeakageCellResult"
+        assert encoded["window"] == [1, 0]
+        assert "mi_bits" in encoded
+
+    def test_determinism_pins_bit_identity(self):
+        spec = LeakageCellSpec(channel="eq7", scheme="random_fill",
+                               window=(2, 1), trials=30, curve_points=(1, 2),
+                               curve_repeats=5)
+        assert encode_result(spec.run()) == encode_result(spec.run())
+
+    def test_unencodable_falls_back_to_repr(self):
+        encoded = encode_result(object())
+        assert encoded["type"] == "object"
+        assert "repr" in encoded
