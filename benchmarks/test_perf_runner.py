@@ -11,18 +11,24 @@ Two generations of baselines, both measured on the reference container
   the sweep.
 
 The bars below are the acceptance criteria for the columnar trace
-engine and the content-addressed result cache:
+engine, the content-addressed result cache, and the lane kernel:
 
 * a **cold** Figure 10 sweep at ``jobs=1`` (result cache bypassed) must
   be >= 1.5x faster than the previous committed baseline,
-* the **batched** cold sweep (the default path: one trace decode and
-  one vectorized random-fill draw row per benchmark group) must be
-  >= 1.5x faster than the same sweep with ``--no-batch``, and
-  bit-identical to it,
+* the **batched** scalar sweep (``REPRO_LANES=0``: one trace decode and
+  one vectorized random-fill draw row per benchmark group, scalar flat
+  kernel per cell) must be >= 1.5x faster than the same sweep with
+  ``--no-batch``, and bit-identical to it,
+* the **lane** sweep (the default path: eligible cells of a batch
+  advance together through the lane kernel) must be >= 1.5x faster
+  than the batched scalar sweep, and bit-identical to it,
 * a **warm** identical re-run must be >= 10x faster than cold, served
   entirely from the result cache,
 * results are bit-identical cold vs. warm (cache off vs. on) and
   ``jobs=1`` vs. ``jobs=N``,
+* checked mode (``REPRO_CHECK``) must keep bypassing lane planning
+  (every checked cell takes the per-cell oracle path) and its on-mode
+  slowdown must stay under a soft ceiling,
 * neither ``single_cell_s`` nor ``fig10_20k_sweep_s`` may regress more
   than 30% against the committed baseline (the CI perf smoke gate).
 
@@ -62,6 +68,13 @@ BASE_FIG10_20K_S = 2.9759    # committed baseline before the columnar engine
 #: CI perf smoke gate: fail on more than this regression vs. the baseline
 MAX_REGRESSION = 1.30
 
+#: soft ceiling on the checked-mode slowdown (checked cell / plain
+#: cell).  Measured 3.1-3.3x across PRs 5-8 with min-of-5 sampling; a
+#: reading above this means checked mode itself regressed, not noise.
+#: (The 4.72x once committed for PR 6 was a min-of-2 artifact on a
+#: shared core — the underlying ratio had not moved.)
+MAX_CHECK_OVERHEAD_X = 4.5
+
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
 
 FIG10_BENCHMARKS = ("astar", "bzip2", "h264ref", "sjeng",
@@ -92,9 +105,11 @@ def run():
     single_s = min(_timed(lambda: run_cell(spec)) for _ in range(5))
 
     # Cold sweeps: result cache bypassed so every cell simulates.  The
-    # default path batches compatible cells (one trace decode per
-    # benchmark group); the per-cell path is timed with batching off.
+    # default path batches compatible cells and advances them as lanes
+    # of the lane kernel; the batched scalar path is timed with
+    # ``REPRO_LANES=0`` and the per-cell path with batching off.
     cold_s, sequential = None, None
+    batched_s, batched_points = None, None
     percell_s, percell_points = None, None
     with RESULT_CACHE.disabled():
         for _ in range(3):
@@ -104,6 +119,17 @@ def run():
             if cold_s is None or elapsed < cold_s:
                 cold_s, sequential = elapsed, points
         batch_stats = last_run_stats()
+
+        os.environ["REPRO_LANES"] = "0"
+        try:
+            for _ in range(3):
+                started = time.process_time()
+                points = figure10(n_refs=20_000, seed=5, jobs=1)
+                elapsed = time.process_time() - started
+                if batched_s is None or elapsed < batched_s:
+                    batched_s, batched_points = elapsed, points
+        finally:
+            del os.environ["REPRO_LANES"]
 
         with run_context(batch=False):
             for _ in range(3):
@@ -117,7 +143,8 @@ def run():
         parallel = figure10(n_refs=20_000, seed=5, jobs=jobs)
         pool_stats = last_run_stats()
     jobs_match = _points_key(sequential) == _points_key(parallel)
-    batch_match = _points_key(sequential) == _points_key(percell_points)
+    lanes_match = _points_key(sequential) == _points_key(batched_points)
+    batch_match = _points_key(batched_points) == _points_key(percell_points)
 
     # Warm re-run: fill a fresh result cache, then time the identical
     # sweep served entirely from it.
@@ -153,14 +180,37 @@ def run():
     hook_s = min(_timed(_hook_calls) for _ in range(3))
     hook_frac = (hook_s / lookups) * 50 / single_s
 
+    # The on-mode ratio is gated against a soft ceiling, so sample it
+    # with the same min-of-5 discipline as ``single_s`` — a min-of-2
+    # here once recorded a phantom 4.72x drift on a shared core.
     unchecked_result = run_cell(spec)
     os.environ[check_mod.ENV_VAR] = "1"
     try:
         checked_result = run_cell(spec)
-        checked_s = min(_timed(lambda: run_cell(spec)) for _ in range(2))
+        checked_s = min(_timed(lambda: run_cell(spec)) for _ in range(5))
     finally:
         del os.environ[check_mod.ENV_VAR]
     checked_matches = checked_result == unchecked_result
+
+    # Checked mode must bypass lane planning: a grid that lane-batches
+    # by default runs per-cell under REPRO_CHECK, with the oracle
+    # active and bit-identical results.
+    os.environ[check_mod.ENV_VAR] = "1"
+    try:
+        with RESULT_CACHE.disabled():
+            checked_points = figure10(n_refs=2_000, seed=5, jobs=1)
+            checked_sweep_stats = last_run_stats()
+    finally:
+        del os.environ[check_mod.ENV_VAR]
+    with RESULT_CACHE.disabled():
+        lane_points = figure10(n_refs=2_000, seed=5, jobs=1)
+        lane_sweep_stats = last_run_stats()
+    checked_bypasses_lanes = (
+        checked_sweep_stats.get("vectorized_cells", 0) == 0
+        and checked_sweep_stats.get("batched_cells", 0) == 0
+        and checked_sweep_stats.get("checks_run", 0) > 0
+        and lane_sweep_stats.get("vectorized_cells", 0) == len(lane_points)
+        and _points_key(checked_points) == _points_key(lane_points))
 
     payload = {
         "single_cell_s": round(single_s, 4),
@@ -170,20 +220,28 @@ def run():
         "single_cell_speedup_vs_base": round(BASE_SINGLE_CELL_S / single_s, 2),
         "single_cell_checked_s": round(checked_s, 4),
         "check_overhead_on_x": round(checked_s / single_s, 2),
+        "check_overhead_ceiling_x": MAX_CHECK_OVERHEAD_X,
         "check_hook_off_frac": round(hook_frac, 5),
         "checked_matches_unchecked": checked_matches,
+        "checked_bypasses_lanes": checked_bypasses_lanes,
         "fig10_20k_sweep_s": round(cold_s, 4),
         "fig10_20k_seed_s": SEED_FIG10_20K_S,
         "fig10_20k_base_s": BASE_FIG10_20K_S,
         "fig10_20k_speedup_vs_seed": round(SEED_FIG10_20K_S / cold_s, 2),
         "fig10_20k_speedup_vs_base": round(BASE_FIG10_20K_S / cold_s, 2),
-        "fig10_batched_s": round(cold_s, 4),
+        "fig10_lanes_s": round(cold_s, 4),
+        "fig10_batched_s": round(batched_s, 4),
         "fig10_percell_s": round(percell_s, 4),
-        "batched_speedup_vs_percell": round(percell_s / cold_s, 2),
+        "lanes_speedup_vs_batched": round(batched_s / cold_s, 2),
+        "lanes_match_batched": lanes_match,
+        "batched_speedup_vs_percell": round(percell_s / batched_s, 2),
         "batched_matches_percell": batch_match,
         "batches": batch_stats.get("batches", 0),
         "batched_cells": batch_stats.get("batched_cells", 0),
         "decode_reuse_hits": batch_stats.get("decode_reuse_hits", 0),
+        "lane_width": batch_stats.get("lane_width", 0),
+        "vectorized_cells": batch_stats.get("vectorized_cells", 0),
+        "scalar_fallback_cells": batch_stats.get("scalar_fallback_cells", 0),
         "fig10_20k_warm_s": round(warm_s, 4),
         "warm_speedup": round(cold_s / warm_s, 1),
         "warm_cache_hits": warm_stats.get("result_cache_hits", 0),
@@ -220,6 +278,14 @@ def test_runner_speedups(benchmark):
     assert payload["batched_speedup_vs_percell"] >= 1.5
     assert payload["batches"] >= 1
 
+    # Lane kernel: the default path advances every eligible cell of a
+    # batch through the lane kernel, bit-identical to the batched
+    # scalar path and >= 1.5x faster on the cold Figure 10 sweep.
+    assert payload["lanes_match_batched"]
+    assert payload["lanes_speedup_vs_batched"] >= 1.5
+    assert payload["vectorized_cells"] == payload["cells"]
+    assert payload["scalar_fallback_cells"] == 0
+
     # Result cache: identical re-run is served from disk, >= 10x faster.
     assert payload["warm_speedup"] >= 10
 
@@ -234,12 +300,15 @@ def test_runner_speedups(benchmark):
     assert payload["supervision_pool_restarts"] == 0
 
     # Checked simulation mode: with REPRO_CHECK unset the dispatch hook
-    # must cost under 2% of a cell, and with it set the differential
-    # oracle must reproduce the unchecked result bit-for-bit (its
-    # slowdown is recorded as check_overhead_on_x, not gated: it is a
-    # debugging mode).
+    # must cost under 2% of a cell; with it set the differential oracle
+    # must reproduce the unchecked result bit-for-bit, stay under the
+    # soft slowdown ceiling (it is a debugging mode, but a drift past
+    # the ceiling means checked mode itself regressed), and bypass lane
+    # planning entirely.
     assert payload["check_hook_off_frac"] <= 0.02
     assert payload["checked_matches_unchecked"]
+    assert payload["check_overhead_on_x"] <= MAX_CHECK_OVERHEAD_X
+    assert payload["checked_bypasses_lanes"]
 
     rows = [(name, str(payload[name])) for name in sorted(payload)]
     save_report("runner_smoke",

@@ -5,31 +5,42 @@ seed knob, or scheme while replaying the *same* trace through the same
 cache geometry.  The per-cell path re-derives the decode columns and
 re-warms the L2 for every one of them; this module computes that shared
 work once per batch group and lowers each eligible cell onto the flat
-kernel (:func:`repro.cpu.timing.run_flat_general`):
+kernel (:func:`repro.cpu.timing.run_flat_general`) or — several lanes
+at a time — onto the lane-parallel kernel
+(:func:`repro.cpu.lanes.run_lanes_general`):
 
 * :class:`GeneralGroupState` — the per-(trace, config, warm) inputs:
   decoded line/step columns of the measured slice and the warmed L2
   contents as plain int lists (copied per cell, the copy is cheap),
-* :func:`run_batched_cell` — build the cell's scheme, check that it is
-  exactly the stock set-associative/LRU configuration the flat kernel
-  transcribes, pregenerate its random-fill draw row from its own
-  derived RNG stream, and run.  Anything else returns ``None`` and the
-  caller falls back to :func:`repro.runner.cells.run_cell`.
+* :func:`lower_cell` — build the cell's scheme, check that it is
+  exactly the stock set-associative/LRU configuration the kernels
+  transcribe, and pregenerate its random-fill draw row from its own
+  derived RNG stream; ineligible cells lower to ``None`` and the
+  caller falls back to :func:`repro.runner.cells.run_cell`,
+* :func:`run_lowered_cell` / :func:`run_batched_cell` — one cell
+  through the scalar flat kernel,
+* :func:`run_lane_cells` — a group of lowered cells through the lane
+  kernel in one shared trace pass (the lanes must agree on
+  :meth:`LoweredCell.shared_key`),
+* :func:`lane_eligible` — the structural half of the eligibility check
+  from the spec alone (no trace load), for plan displays.
 
-Results are bit-identical to the per-cell path: the kernel is an exact
-transcription of the fused kernel plus settle, the warm replay mirrors
+Results are bit-identical to the per-cell path: the kernels are exact
+transcriptions of the fused kernel plus settle, the warm replay mirrors
 ``warm_l2``, and the draw row reproduces the scalar ``draw()`` stream
 (:meth:`repro.util.rng.HardwareRng.pregenerate`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+
+from typing import List, Optional, Sequence
 
 from repro.cache.controller import DemandFetchPolicy
 from repro.cache.l2 import L2Cache
 from repro.cache.set_associative import SetAssociativeCache
 from repro.core.policy import RandomFillPolicy
+from repro.cpu.lanes import LaneCell, masked_offsets, run_lanes_general
 from repro.cpu.timing import SimResult, run_flat_general
 from repro.cpu.trace import Trace
 from repro.memory.dram import DramModel
@@ -92,6 +103,14 @@ class GeneralGroupState:
         """A fresh mutable copy of the warmed L2 contents."""
         return [list(cache_set) for cache_set in self._warm_l2_sets]
 
+    def l2_sets_view(self) -> List[List[int]]:
+        """The warmed L2 contents, MRU first — read-only for callers.
+
+        The lane kernel copies per lane internally, so sharing the
+        backing lists avoids one full L2 image copy per lane.
+        """
+        return self._warm_l2_sets
+
 
 def group_state_for(spec) -> GeneralGroupState:
     """Build the shared state for a batch group from one member spec."""
@@ -101,25 +120,42 @@ def group_state_for(spec) -> GeneralGroupState:
     return GeneralGroupState(trace, spec.config, spec.warm)
 
 
-def run_batched_cell(spec, group: GeneralGroupState) -> Optional[SimResult]:
-    """Run one cell through the flat kernel, or ``None`` if ineligible.
+class LoweredCell:
+    """One eligible cell lowered to plain kernel parameters.
 
-    The cell's scheme is built exactly as ``run_general_workload``
-    builds it (same ``build_scheme`` seed derivation, same ``set_rr``),
-    then lowered: only the stock set-associative/LRU L1 and L2 with a
-    demand-fetch or power-of-two random-fill policy qualify — the same
-    configurations the fused kernel covers, minus the non-power-of-two
-    windows that draw via ``draw_below``.  An ineligible cell returns
-    ``None`` and the caller runs it per-cell inside the batch.
+    The shared fields (geometry, capacities, latencies, DRAM timing)
+    must agree between lanes run together — :meth:`shared_key` is the
+    grouping key; ``policy_kind`` / ``rf_a`` / ``rf_mask`` / ``draws``
+    are the per-lane split.
+    """
+
+    __slots__ = ("l1_num_sets", "l1_assoc", "l2_hit_latency",
+                 "mq_capacity", "fill_reserve", "fill_queue_capacity",
+                 "hit_cost", "mlp", "credit", "dram",
+                 "policy_kind", "rf_a", "rf_mask", "draws")
+
+    def shared_key(self):
+        return (self.l1_num_sets, self.l1_assoc, self.l2_hit_latency,
+                self.mq_capacity, self.fill_reserve,
+                self.fill_queue_capacity, self.hit_cost, self.mlp,
+                self.credit, self.dram)
+
+
+def _lower(spec, config, l2_num_sets, l2_assoc,
+           n_draws: int) -> Optional[LoweredCell]:
+    """Structural eligibility check + parameter extraction.
+
+    ``n_draws == 0`` performs a *dry* lowering (no draw row is
+    pregenerated, leaving the scheme's RNG untouched) — enough for
+    eligibility display; a real run lowers with one draw per trace
+    record.
     """
     from repro.experiments.schemes import build_scheme
     from repro.runner.cells import CellSpec
 
     if not isinstance(spec, CellSpec) or spec.kind != "general":
         return None
-    if spec.config != group.config:
-        return None
-    scheme = build_scheme(spec.scheme, spec.config, seed=spec.seed)
+    scheme = build_scheme(spec.scheme, config, seed=spec.seed)
     window = spec.window if spec.window is not None else (0, 0)
     if scheme.os is not None:
         scheme.os.set_rr(*window)
@@ -137,8 +173,8 @@ def run_batched_cell(spec, group: GeneralGroupState) -> Optional[SimResult]:
     if type(l2_tag) is not SetAssociativeCache \
             or not (l2_tag._lru_hits and l2_tag._mru_fills
                     and l2_tag._max_victims) \
-            or l2_tag._set_mask + 1 != group.l2_num_sets \
-            or l2_tag.associativity != group.l2_assoc:
+            or l2_tag._set_mask + 1 != l2_num_sets \
+            or l2_tag.associativity != l2_assoc:
         return None
     dram = l2.dram
     if type(dram) is not DramModel:
@@ -152,7 +188,7 @@ def run_batched_cell(spec, group: GeneralGroupState) -> Optional[SimResult]:
     policy = l1._policy
     policy_kind = 1
     rf_a = rf_mask = 0
-    draws: List[int] = ()
+    draws: Sequence[int] = ()
     if type(policy) is RandomFillPolicy:
         engine = policy.engine
         rf_window = engine.window_for(_THREAD_ID)
@@ -164,27 +200,119 @@ def run_batched_cell(spec, group: GeneralGroupState) -> Optional[SimResult]:
             # One raw draw per demand miss; one per record is always
             # enough.  The row comes from this cell's own derived RNG
             # stream and reproduces scalar draw() bit-exactly.
-            draws = engine._rng.pregenerate(len(group.lines))
+            if n_draws:
+                draws = engine._rng.pregenerate(n_draws)
     elif type(policy) is not DemandFetchPolicy:
         return None
 
     cfg = dram.config
-    dram_params = (
+    lowered = LoweredCell()
+    lowered.l1_num_sets = tag._set_mask + 1
+    lowered.l1_assoc = tag.associativity
+    lowered.l2_hit_latency = l2.hit_latency
+    lowered.mq_capacity = l1.miss_queue.capacity
+    lowered.fill_reserve = l1.fill_reserve
+    lowered.fill_queue_capacity = l1.fill_queue_capacity
+    lowered.hit_cost = l1.hit_latency
+    lowered.mlp = max(1, l1.miss_queue.capacity // 2)
+    lowered.credit = config.overlap_credit
+    lowered.dram = (
         cfg.row_size_bytes // cfg.line_size, cfg.num_banks,
         cfg.row_hit_latency, cfg.row_miss_latency,
         cfg.t_burst, cfg.t_rp + cfg.t_rcd + cfg.t_burst,
     )
+    lowered.policy_kind = policy_kind
+    lowered.rf_a = rf_a
+    lowered.rf_mask = rf_mask
+    lowered.draws = draws
+    return lowered
+
+
+def lower_cell(spec, group: GeneralGroupState) -> Optional[LoweredCell]:
+    """Lower one cell onto kernel parameters, or ``None`` if ineligible.
+
+    The cell's scheme is built exactly as ``run_general_workload``
+    builds it (same ``build_scheme`` seed derivation, same ``set_rr``),
+    then checked: only the stock set-associative/LRU L1 and L2 with a
+    demand-fetch or power-of-two random-fill policy qualify — the same
+    configurations the fused kernel covers, minus the non-power-of-two
+    windows that draw via ``draw_below``.
+    """
+    if spec.config != group.config:
+        return None
+    return _lower(spec, spec.config, group.l2_num_sets, group.l2_assoc,
+                  n_draws=len(group.lines))
+
+
+def lane_eligible(spec) -> bool:
+    """Would this spec lower onto the kernels?  Structure only, no trace.
+
+    Used by plan displays (``--profile``): the check builds the scheme
+    (cheap) but skips the draw-row pregeneration, so no workload trace
+    is loaded.
+    """
+    from repro.runner.cells import CellSpec
+
+    if not isinstance(spec, CellSpec) or spec.kind != "general":
+        return False
     config = spec.config
+    l2_num_sets = (config.l2_size // config.line_size) // config.l2_assoc
+    return _lower(spec, config, l2_num_sets, config.l2_assoc,
+                  n_draws=0) is not None
+
+
+def run_lowered_cell(group: GeneralGroupState,
+                     lowered: LoweredCell) -> SimResult:
+    """Run one lowered cell through the scalar flat kernel."""
     return run_flat_general(
         group.lines, group.steps, group.instructions,
-        l1_num_sets=tag._set_mask + 1, l1_assoc=tag.associativity,
+        l1_num_sets=lowered.l1_num_sets, l1_assoc=lowered.l1_assoc,
         l2_sets=group.l2_sets_copy(), l2_num_sets=group.l2_num_sets,
-        l2_assoc=group.l2_assoc, l2_hit_latency=l2.hit_latency,
-        mq_capacity=l1.miss_queue.capacity, fill_reserve=l1.fill_reserve,
-        fill_queue_capacity=l1.fill_queue_capacity,
-        hit_cost=l1.hit_latency,
-        mlp=max(1, l1.miss_queue.capacity // 2),
-        credit=config.overlap_credit,
-        policy_kind=policy_kind, rf_a=rf_a, rf_mask=rf_mask, draws=draws,
-        dram=dram_params,
+        l2_assoc=group.l2_assoc, l2_hit_latency=lowered.l2_hit_latency,
+        mq_capacity=lowered.mq_capacity,
+        fill_reserve=lowered.fill_reserve,
+        fill_queue_capacity=lowered.fill_queue_capacity,
+        hit_cost=lowered.hit_cost, mlp=lowered.mlp, credit=lowered.credit,
+        policy_kind=lowered.policy_kind, rf_a=lowered.rf_a,
+        rf_mask=lowered.rf_mask, draws=lowered.draws, dram=lowered.dram,
+    )
+
+
+def run_batched_cell(spec, group: GeneralGroupState) -> Optional[SimResult]:
+    """Run one cell through the flat kernel, or ``None`` if ineligible."""
+    lowered = lower_cell(spec, group)
+    if lowered is None:
+        return None
+    return run_lowered_cell(group, lowered)
+
+
+def run_lane_cells(group: GeneralGroupState,
+                   lowered: Sequence[LoweredCell]) -> List[SimResult]:
+    """Run a group of lowered cells as lanes of one shared trace pass.
+
+    Every member must report the same :meth:`LoweredCell.shared_key`
+    (the runner groups by it before calling).  Returns one result per
+    cell, in order, bit-identical to :func:`run_lowered_cell` per cell.
+    """
+    if not lowered:
+        return []
+    first = lowered[0]
+    cells = [
+        LaneCell(
+            lc.policy_kind,
+            masked_offsets(lc.draws, lc.rf_a, lc.rf_mask)
+            if lc.policy_kind == 2 else None,
+        )
+        for lc in lowered
+    ]
+    return run_lanes_general(
+        group.lines, group.steps, group.instructions,
+        l1_num_sets=first.l1_num_sets, l1_assoc=first.l1_assoc,
+        l2_sets=group.l2_sets_view(),
+        l2_num_sets=group.l2_num_sets, l2_assoc=group.l2_assoc,
+        l2_hit_latency=first.l2_hit_latency,
+        mq_capacity=first.mq_capacity, fill_reserve=first.fill_reserve,
+        fill_queue_capacity=first.fill_queue_capacity,
+        hit_cost=first.hit_cost, mlp=first.mlp, credit=first.credit,
+        cells=cells, dram=first.dram,
     )

@@ -24,7 +24,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.leakage.adapters import FunctionalScheme
+import numpy as np
+
+from repro.leakage.adapters import FunctionalScheme, resident_array
 from repro.leakage.estimators import (
     JointCounts,
     conditional_guessing_entropy,
@@ -68,8 +70,9 @@ def run_occupancy_trials(scheme: FunctionalScheme,
     attacker_ctx = scheme.attacker_ctx
     region_lines = list(scheme.region.lines)
     m = len(region_lines)
-    prime_lines = [ATTACKER_BASE_LINE + i
-                   for i in range(scheme.capacity_lines)]
+    n_prime = scheme.capacity_lines
+    prime_lines = [ATTACKER_BASE_LINE + i for i in range(n_prime)]
+    prime_end = ATTACKER_BASE_LINE + n_prime
     rng = random.Random(derive_seed(seed, "occupancy", scheme.name, "secrets"))
     joint = JointCounts()
     from repro.check import active_checker
@@ -80,7 +83,10 @@ def run_occupancy_trials(scheme: FunctionalScheme,
             checker.maybe_validate_store(store, where="occupancy.tag_store")
         scheme.reset_victim()
         # Prime: top the cache back up with attacker lines (after the
-        # first trial only the previously displaced ones refill).
+        # first trial only the previously displaced ones refill).  This
+        # stays a per-line loop on purpose: ``access`` on a hit updates
+        # recency state, which steers the victim's later evictions, so
+        # a precomputed membership mask would change results.
         for line in prime_lines:
             if not store.access(line, attacker_ctx):
                 store.fill(line, attacker_ctx)
@@ -89,9 +95,14 @@ def run_occupancy_trials(scheme: FunctionalScheme,
         for line in region_lines[:secret + 1]:
             scheme.victim_access(line)
         # Probe: the aggregate miss count is the whole observation.
-        missing = sum(1 for line in prime_lines
-                      if not store.probe(line, attacker_ctx))
-        joint.add(secret, missing)
+        # ``probe`` is side-effect-free in every store and each prime
+        # address is resident at most once, so the per-line probe scan
+        # collapses into one numpy range-membership count over the
+        # store's resident-line array.
+        resident = resident_array(store)
+        present = int(np.count_nonzero(
+            (resident >= ATTACKER_BASE_LINE) & (resident < prime_end)))
+        joint.add(secret, n_prime - present)
 
     return OccupancyResult(
         trials=trials,

@@ -239,6 +239,9 @@ class _Supervisor:
             batches=0,
             batched_cells=0,
             decode_reuse_hits=0,
+            vectorized_cells=0,
+            scalar_fallback_cells=0,
+            lane_width=0,
         )
 
     def note_cached(self, index: int) -> None:
@@ -288,12 +291,22 @@ class _Supervisor:
         self.counters["batched_cells"] += len(item.indices)
         self.counters["decode_reuse_hits"] += batch_meta.get("decode_reuses", 0)
         batch = item.batch
-        self.telemetry.emit(
-            "batch_finish",
+        event = dict(
             batch_id=batch.batch_id,
             size=len(item.indices),
             decode_reuses=batch_meta.get("decode_reuses", 0),
         )
+        if "lane_width" in batch_meta:
+            # Lane metrics ride along only for kernel-backed batches.
+            event["lane_width"] = batch_meta["lane_width"]
+            event["vectorized_cells"] = batch_meta.get("vectorized_cells", 0)
+            event["scalar_fallback_cells"] = batch_meta.get("scalar_fallback_cells", 0)
+            self.counters["vectorized_cells"] += event["vectorized_cells"]
+            self.counters["scalar_fallback_cells"] += event["scalar_fallback_cells"]
+            self.counters["lane_width"] = max(
+                self.counters["lane_width"], batch_meta["lane_width"]
+            )
+        self.telemetry.emit("batch_finish", **event)
         for index, result, meta in zip(item.indices, results, metas):
             meta["batch_id"] = batch.batch_id
             meta["batch_size"] = len(item.indices)
@@ -682,6 +695,9 @@ def run_cells(
                 batches=sup.counters["batches"],
                 batched_cells=sup.counters["batched_cells"],
                 decode_reuse_hits=sup.counters["decode_reuse_hits"],
+                lane_width=sup.counters["lane_width"],
+                vectorized_cells=sup.counters["vectorized_cells"],
+                scalar_fallback_cells=sup.counters["scalar_fallback_cells"],
                 latency_p50_s=_percentile(ordered, 0.50) if ordered else 0.0,
                 latency_p95_s=_percentile(ordered, 0.95) if ordered else 0.0,
             )

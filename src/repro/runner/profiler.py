@@ -52,18 +52,29 @@ def profile_batch(batch, top: int = DEFAULT_TOP, stream: Optional[io.TextIOBase]
 
     Returns ``(results, report_text)`` with one result per member cell;
     the profile covers the shared group-state build (trace decode, warm
-    replay) plus every cell's kernel run, i.e. exactly what a worker
-    does for one batched work item.
+    replay) plus every cell's kernel run — lane kernel calls included —
+    i.e. exactly what a worker does for one batched work item.  For a
+    lane-backed batch the report is prefixed with the lane summary
+    (width, vectorized vs scalar-fallback cells, kernel backend).
     """
+    from repro.cpu import lanes
     from repro.runner.batch import run_batch
 
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        results, _metas, _batch_meta = run_batch(batch)
+        results, _metas, batch_meta = run_batch(batch)
     finally:
         profiler.disable()
     buffer = io.StringIO()
+    if batch_meta.get("vectorized_cells"):
+        backend = lanes.LAST_STATS.get("backend", "unknown")
+        buffer.write(
+            f"lane kernel: width {batch_meta['lane_width']}, "
+            f"{batch_meta['vectorized_cells']} vectorized / "
+            f"{batch_meta['scalar_fallback_cells']} scalar-fallback "
+            f"cells, backend {backend}\n"
+        )
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats("cumulative").print_stats(top)
     report = buffer.getvalue()

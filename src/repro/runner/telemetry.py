@@ -22,7 +22,10 @@ vocabulary:
   batch id, cell indices, size;
 * ``batch_finish`` — every cell of a batch completed: batch id, size,
   ``decode_reuses`` (cells beyond the first that shared the group's
-  trace decode);
+  trace decode); lane-planned batches additionally carry
+  ``lane_width`` (resolved width), ``vectorized_cells`` (members
+  advanced by the lane kernel) and ``scalar_fallback_cells`` (members
+  that kept the scalar per-cell path);
 * ``batch_split``  — a batch failed (worker exception or lost pool)
   and its member cells were requeued individually, with the reason and
   the error repr; the split itself charges no per-cell attempts — the
