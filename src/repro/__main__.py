@@ -378,17 +378,21 @@ def leakage(args: argparse.Namespace) -> None:
         m_lines=args.m_lines, trials=args.trials,
         seeds=tuple(args.seed + i for i in range(args.seeds)))
     if args.schemes:
-        grid_kwargs["schemes"] = tuple(args.schemes.split(","))
+        from repro.schemes import functional_scheme_names
+        schemes = tuple(args.schemes.split(","))
+        known = functional_scheme_names()
+        unknown = [s for s in schemes if s not in known]
+        if unknown:
+            sys.exit(f"unknown scheme(s) {', '.join(unknown)}; "
+                     f"registered: {', '.join(known)}")
+        grid_kwargs["schemes"] = schemes
     if args.windows:
         grid_kwargs["window_sizes"] = tuple(
             int(w) for w in args.windows.split(","))
     if args.smoke:
-        # CI-sized grid: one window, the three schemes that pin the
-        # story (full leak, randomized leak, closed channel), fewer
-        # Monte-Carlo repeats.  Explicit flags still win.
-        grid_kwargs.setdefault("schemes",
-                               ("demand_fetch", "random_fill",
-                                "plcache_preload"))
+        # CI-sized grid: one window, every registered scheme (so a
+        # broken plugin fails the smoke), fewer Monte-Carlo repeats.
+        # Explicit flags still win.
         grid_kwargs.setdefault("window_sizes", (8,))
         grid_kwargs["curve_repeats"] = 100
     specs = leakage_grid(**grid_kwargs)
@@ -544,7 +548,8 @@ def build_parser() -> argparse.ArgumentParser:
     lp.add_argument("--windows", default="",
                     help="comma-separated window sizes (default: 2,4,8,16,32)")
     lp.add_argument("--smoke", action="store_true",
-                    help="CI-sized grid: 3 schemes, window 8 only")
+                    help="CI-sized grid: every registered scheme, "
+                         "window 8 only, fewer curve repeats")
     lp.add_argument("--check", nargs="?", const="1", default=None,
                     metavar="RATE",
                     help="checked simulation mode (sanitizer + oracle, "

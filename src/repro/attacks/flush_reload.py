@@ -47,7 +47,8 @@ def run_flush_reload_trials(tag_store: TagStore,
                             region: ProtectedRegion,
                             window: RandomFillWindow,
                             trials: int = 2000,
-                            seed: int = 0) -> FlushReloadResult:
+                            seed: int = 0,
+                            victim_cache=None) -> FlushReloadResult:
     """Run the Flush-Reload loop against a (possibly random fill) cache.
 
     Each round: flush the shared region, victim accesses one uniformly
@@ -56,12 +57,18 @@ def run_flush_reload_trials(tag_store: TagStore,
     The attacker's guess is the first observed hot line (under demand
     fetch there is exactly one and it is correct).  All randomness is
     derived from ``seed`` via :func:`repro.util.rng.derive_seed`.
+
+    ``victim_cache`` overrides the victim's fill model (any object with
+    ``access_line``); schemes with a registry ``victim_cache_factory``
+    (e.g. Random-and-Safe) pass theirs in, everything else keeps the
+    windowed default built here.
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
     rng = random.Random(derive_seed(seed, "flush-reload", "secrets"))
-    cache = FunctionalRandomFillCache(
-        tag_store, window, HardwareRng(derive_seed(seed, "victim-fill")))
+    cache = victim_cache if victim_cache is not None else \
+        FunctionalRandomFillCache(
+            tag_store, window, HardwareRng(derive_seed(seed, "victim-fill")))
     lines = list(region.lines)
     m = len(lines)
     correct = 0

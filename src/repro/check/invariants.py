@@ -77,6 +77,60 @@ def validate_tag_store(store, where: str = "tag-store",
                         f"line 0x{line:x} resident in set {set_index}, "
                         f"maps to set {line & mask}", index=index)
         return
+    from repro.schemes.chameleon import ChameleonCache
+    from repro.schemes.skewed import SkewedRandomCache
+
+    if isinstance(store, SkewedRandomCache):
+        seen = set()
+        for way, row, line in store.resident_rows():
+            if line in seen:
+                raise CheckViolation(
+                    "tag-duplicate", where,
+                    f"line 0x{line:x} resident in more than one way",
+                    index=index)
+            seen.add(line)
+            if store._row(line, way) != row:
+                raise CheckViolation(
+                    "set-mapping", where,
+                    f"line 0x{line:x} resident at way {way} row {row}, "
+                    f"epoch {store.epoch} keys hash it to row "
+                    f"{store._row(line, way)}", index=index)
+        return
+    if isinstance(store, ChameleonCache):
+        victim = store.victim_contents()
+        if len(victim) > store.victim_entries:
+            raise CheckViolation(
+                "occupancy", where,
+                f"victim cache holds {len(victim)} lines, capacity "
+                f"{store.victim_entries}", index=index)
+        seen = set(victim)
+        if len(seen) != len(victim):
+            duplicate = next(ln for ln in victim if victim.count(ln) > 1)
+            raise CheckViolation(
+                "tag-duplicate", where,
+                f"line 0x{duplicate:x} resident twice in the victim cache",
+                index=index)
+        mask = store._set_mask
+        for set_index in range(mask + 1):
+            contents = store.set_contents(set_index)
+            if len(contents) > store.associativity:
+                raise CheckViolation(
+                    "occupancy", where,
+                    f"set {set_index} holds {len(contents)} lines, "
+                    f"associativity {store.associativity}", index=index)
+            for line in contents:
+                if line in seen:
+                    raise CheckViolation(
+                        "tag-duplicate", where,
+                        f"line 0x{line:x} resident more than once",
+                        index=index)
+                seen.add(line)
+                if (line & mask) != set_index:
+                    raise CheckViolation(
+                        "set-mapping", where,
+                        f"line 0x{line:x} resident in set {set_index}, "
+                        f"maps to set {line & mask}", index=index)
+        return
     # Generic TagStore (e.g. Newcache): global uniqueness + occupancy.
     lines = list(store.resident_lines())
     if len(lines) != len(set(lines)):

@@ -152,9 +152,22 @@ def _lower(spec, config, l2_num_sets, l2_assoc,
     """
     from repro.experiments.schemes import build_scheme
     from repro.runner.cells import CellSpec
+    from repro.schemes import get_scheme
 
     if not isinstance(spec, CellSpec) or spec.kind != "general":
         return None
+    # Declarative early-out from the scheme registry: schemes not
+    # flagged lane_eligible never lower, and pow2_window_only schemes
+    # skip the build for windows the mask path cannot draw.  The
+    # structural checks below stay as the authority for flagged
+    # schemes (a conformance test pins flag/structure agreement).
+    registered = get_scheme(spec.scheme, timing=True)
+    if not registered.lane_eligible:
+        return None
+    if registered.pow2_window_only and spec.window is not None:
+        size = spec.window[0] + spec.window[1] + 1
+        if size > 1 and size & (size - 1):
+            return None
     scheme = build_scheme(spec.scheme, config, seed=spec.seed)
     window = spec.window if spec.window is not None else (0, 0)
     if scheme.os is not None:

@@ -5,15 +5,12 @@ experiment needs (the random-fill OS layer, the preload routine, the
 protected regions).  :func:`build_scheme` is the single entry point the
 experiment runners and benches use.
 
-Scheme names (the legend entries of Figures 6-8):
-
-* ``baseline``              — demand-fetch set-associative L1 (Table IV)
-* ``random_fill``           — the paper's contribution on an SA L1
-* ``newcache``              — demand-fetch Newcache L1
-* ``random_fill_newcache``  — random fill built on Newcache
-* ``plcache_preload``       — PLcache with preloaded + locked tables
-* ``disable_cache``         — L1 bypass for security-critical accesses
-* ``tagged_prefetch``       — demand fetch + tagged next-line prefetcher
+Which schemes exist and how their hierarchies are wired comes from the
+scheme-plugin registry (:mod:`repro.schemes`): ``SCHEME_NAMES`` is
+computed from the registered specs (every spec with a
+``controller_factory``), and registering a new
+:class:`~repro.schemes.SchemeSpec` makes it buildable here — and hence
+sweepable through every figure — with no further code.
 """
 
 from __future__ import annotations
@@ -21,30 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cache.controller import DemandFetchPolicy, L1Controller
-from repro.cache.hierarchy import Hierarchy, build_hierarchy
+from repro.cache.controller import L1Controller
+from repro.cache.hierarchy import Hierarchy
 from repro.cache.context import AccessContext
-from repro.core.engine import RandomFillEngine
-from repro.core.policy import RandomFillPolicy
 from repro.core.syscalls import RandomFillOS
 from repro.core.window import RandomFillWindow, validate_window
 from repro.experiments.config import SimulatorConfig
-from repro.prefetch.tagged import TaggedPrefetchPolicy
-from repro.secure.newcache import Newcache
-from repro.secure.nocache import DisableCachePolicy
-from repro.secure.plcache import PLCache, preload_and_lock
+from repro.schemes import get_scheme, timing_scheme_names
+from repro.secure.plcache import preload_and_lock
 from repro.secure.region import RegionSet
-from repro.util.rng import HardwareRng, derive_seed
 
-SCHEME_NAMES = (
-    "baseline",
-    "random_fill",
-    "newcache",
-    "random_fill_newcache",
-    "plcache_preload",
-    "disable_cache",
-    "tagged_prefetch",
-)
+#: every registered scheme with a timing controller (registry order)
+SCHEME_NAMES = timing_scheme_names()
 
 
 @dataclass
@@ -56,6 +41,8 @@ class Scheme:
     config: SimulatorConfig
     os: Optional[RandomFillOS] = None
     protected: Optional[RegionSet] = None
+    #: run the preload-and-lock setup routine in :meth:`prepare`
+    preload: bool = False
 
     @property
     def l1(self) -> L1Controller:
@@ -75,9 +62,9 @@ class Scheme:
                 ctx: AccessContext = AccessContext()) -> int:
         """Run the scheme's setup routine (PLcache preload); returns the
         cycle at which setup finished (charged to the victim)."""
-        if self.name == "plcache_preload":
+        if self.preload:
             if self.protected is None:
-                raise ValueError("plcache_preload needs protected regions")
+                raise ValueError(f"{self.name} needs protected regions")
             return preload_and_lock(self.l1, self.protected, ctx, now)
         return now
 
@@ -86,63 +73,23 @@ def build_scheme(name: str, config: SimulatorConfig,
                  seed: int = 0,
                  protected: Optional[RegionSet] = None,
                  window: Optional[RandomFillWindow] = None) -> Scheme:
-    """Construct a named scheme.
+    """Construct a registered timing scheme.
 
     ``window`` applies to thread 0 of the random fill schemes (other
     threads can be configured afterwards via ``scheme.set_window``).
-    ``protected`` is required by ``plcache_preload`` and
-    ``disable_cache``.
+    ``protected`` is required by schemes flagged ``needs_protected``
+    (``plcache_preload`` consumes it in :meth:`Scheme.prepare`).
+    Unknown names raise :class:`ValueError` listing the registered
+    timing schemes.
     """
-    if name not in SCHEME_NAMES:
-        raise ValueError(f"unknown scheme {name!r}; known: {SCHEME_NAMES}")
+    spec = get_scheme(name, timing=True)
+    if spec.needs_protected and protected is None:
+        raise ValueError(f"{name} needs protected regions")
 
-    common = dict(
-        l1_size=config.l1d_size, l1_assoc=config.l1d_assoc,
-        line_size=config.line_size, l1_hit_latency=config.l1_hit_latency,
-        l2_size=config.l2_size, l2_assoc=config.l2_assoc,
-        l2_hit_latency=config.l2_hit_latency,
-        mshr_entries=config.mshr_entries, dram_config=config.dram)
-
-    os_layer: Optional[RandomFillOS] = None
-
-    if name in ("random_fill", "random_fill_newcache"):
-        engine = RandomFillEngine(HardwareRng(derive_seed(seed, name, "rng")))
-        policy = RandomFillPolicy(engine)
-        os_layer = RandomFillOS(engine)
-        tag_store = None
-        if name == "random_fill_newcache":
-            tag_store = Newcache(
-                config.l1d_size, config.line_size,
-                extra_index_bits=config.newcache_extra_index_bits,
-                seed=derive_seed(seed, name, "newcache"))
-        hierarchy = build_hierarchy(l1_tag_store=tag_store, policy=policy,
-                                    **common)
-    elif name == "newcache":
-        tag_store = Newcache(
-            config.l1d_size, config.line_size,
-            extra_index_bits=config.newcache_extra_index_bits,
-            seed=derive_seed(seed, name, "newcache"))
-        hierarchy = build_hierarchy(l1_tag_store=tag_store,
-                                    policy=DemandFetchPolicy(), **common)
-    elif name == "plcache_preload":
-        tag_store = PLCache(config.l1d_size, config.l1d_assoc,
-                            config.line_size)
-        hierarchy = build_hierarchy(l1_tag_store=tag_store,
-                                    policy=DemandFetchPolicy(), **common)
-    elif name == "disable_cache":
-        if protected is None:
-            raise ValueError("disable_cache needs protected regions")
-        hierarchy = build_hierarchy(policy=DisableCachePolicy(protected),
-                                    **common)
-    elif name == "tagged_prefetch":
-        policy = TaggedPrefetchPolicy()
-        hierarchy = build_hierarchy(policy=policy, **common)
-        policy.attach(hierarchy.l1)
-    else:  # baseline
-        hierarchy = build_hierarchy(policy=DemandFetchPolicy(), **common)
+    hierarchy, os_layer = spec.controller_factory(config, seed, protected)
 
     scheme = Scheme(name=name, hierarchy=hierarchy, config=config,
-                    os=os_layer, protected=protected)
+                    os=os_layer, protected=protected, preload=spec.preload)
     if window is not None:
         if os_layer is not None:
             scheme.set_window(window)

@@ -4,53 +4,43 @@ The leakage attacks operate on the *functional* (hit/miss-only) level,
 like the Section V-A Monte Carlo: what matters for the channel is which
 lines are resident, not the cycle counts.  A :class:`FunctionalScheme`
 bundles a freshly built tag store, the victim's fill strategy (demand
-fetch or a random fill window), the attacker/victim access contexts and
-the per-trial victim reset — one uniform surface the Flush-Reload and
-occupancy loops can run against any design through.
+fetch, a random fill window, or a scheme-specific model), the
+attacker/victim access contexts and the per-trial victim reset — one
+uniform surface the Flush-Reload and occupancy loops can run against
+any design through.
 
-Scheme names (``LEAKAGE_SCHEMES``):
-
-* ``demand_fetch``         — conventional SA cache, demand fetch
-* ``random_fill``          — SA cache + the paper's random fill window
-* ``newcache``             — Newcache (mapping randomization), demand fetch
-* ``random_fill_newcache`` — random fill built on Newcache
-* ``rpcache``              — RPcache (permutation randomization), demand fetch
-* ``plcache_preload``      — PLcache with the region preloaded and locked
+Which schemes exist, how their stores are built and which fill strategy
+their victim runs all come from the scheme-plugin registry
+(:mod:`repro.schemes`): ``LEAKAGE_SCHEMES`` is computed from the
+registered specs, and registering a new :class:`~repro.schemes.SchemeSpec`
+with a ``store_factory`` makes it buildable here with no further code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from typing import Any, FrozenSet, Optional
 
 import numpy as np
 
 from repro.analysis.hit_probability import FunctionalRandomFillCache
 from repro.cache.context import AccessContext
-from repro.cache.set_associative import SetAssociativeCache
 from repro.cache.tagstore import TagStore
 from repro.core.window import (
     DISABLED_WINDOW,
     RandomFillWindow,
     validate_window,
 )
-from repro.secure.newcache import Newcache
-from repro.secure.plcache import PLCache
+from repro.schemes import StoreGeometry, functional_scheme_names, get_scheme
+from repro.schemes import random_fill_scheme_names
 from repro.secure.region import ProtectedRegion
-from repro.secure.rpcache import RPCache
 from repro.util.rng import HardwareRng, derive_seed
 
-LEAKAGE_SCHEMES = (
-    "demand_fetch",
-    "random_fill",
-    "newcache",
-    "random_fill_newcache",
-    "rpcache",
-    "plcache_preload",
-)
+#: every registered scheme with a functional store (registry order)
+LEAKAGE_SCHEMES = functional_scheme_names()
 
 #: schemes whose victim runs the random fill strategy
-RANDOM_FILL_SCHEMES = ("random_fill", "random_fill_newcache")
+RANDOM_FILL_SCHEMES = random_fill_scheme_names()
 
 VICTIM_CTX = AccessContext(thread_id=0, domain=0)
 ATTACKER_CTX = AccessContext(thread_id=1, domain=1)
@@ -69,18 +59,25 @@ def resident_array(store: TagStore) -> np.ndarray:
 
 @dataclass
 class FunctionalScheme:
-    """A built functional scheme plus the knobs the leakage loops need."""
+    """A built functional scheme plus the knobs the leakage loops need.
+
+    ``victim_cache`` is any object exposing ``access_line(line) -> bool``
+    — the default windowed :class:`FunctionalRandomFillCache` or a
+    scheme's custom victim model (e.g. Random-and-Safe's decoy fill).
+    """
 
     name: str
     tag_store: TagStore
     window: RandomFillWindow
     region: ProtectedRegion
-    victim_cache: FunctionalRandomFillCache
+    victim_cache: Any
     victim_ctx: AccessContext = VICTIM_CTX
     attacker_ctx: AccessContext = ATTACKER_CTX
     #: every line a victim access can install (region plus window margins)
     victim_lines: FrozenSet[int] = field(default_factory=frozenset)
     preloaded: bool = False
+    #: the victim model is scheme-specific (not the windowed default)
+    custom_fill: bool = False
 
     @property
     def capacity_lines(self) -> int:
@@ -103,8 +100,7 @@ class FunctionalScheme:
         # A frozenset listcomp beats numpy membership here: the victim
         # set is tiny and ``in`` is O(1), while np.isin pays sort/search
         # constants (measured 8us vs 29us per reset at 128 lines).
-        resident = [line for line in store.resident_lines()
-                    if line in victim_lines]
+        resident = [line for line in store.resident_lines() if line in victim_lines]
         for line in resident:
             store.invalidate(line)
         if self.preloaded:
@@ -116,53 +112,65 @@ class FunctionalScheme:
                 self.tag_store.fill(line, _LOCK_CTX)
 
 
-def build_functional_scheme(name: str,
-                            region: ProtectedRegion,
-                            window: Optional[RandomFillWindow] = None,
-                            cache_bytes: int = 8 * 1024,
-                            associativity: int = 4,
-                            seed: int = 0) -> FunctionalScheme:
-    """Construct a named functional scheme around ``region``.
+def build_functional_scheme(
+    name: str,
+    region: ProtectedRegion,
+    window: Optional[RandomFillWindow] = None,
+    cache_bytes: int = 8 * 1024,
+    associativity: int = 4,
+    seed: int = 0,
+) -> FunctionalScheme:
+    """Construct a registered functional scheme around ``region``.
 
     ``window`` is required by the random fill schemes and rejected (if
-    enabled) by the demand-fetch ones.  Every RNG the scheme owns is
-    derived from ``seed`` via :func:`repro.util.rng.derive_seed`.
+    enabled) by every other fill strategy.  Every RNG the scheme owns is
+    derived from ``seed`` via :func:`repro.util.rng.derive_seed`; the
+    derivation strings are per-scheme stable (golden-pinned), so a
+    registry migration can never silently move measured results.
+    Unknown names raise :class:`ValueError` listing the registered
+    functional schemes.
     """
-    if name not in LEAKAGE_SCHEMES:
-        raise ValueError(f"unknown scheme {name!r}; known: {LEAKAGE_SCHEMES}")
-    random_fill = name in RANDOM_FILL_SCHEMES
-    if random_fill:
+    spec = get_scheme(name, functional=True)
+    if spec.uses_window:
         if window is None or window.disabled:
             raise ValueError(f"scheme {name!r} needs an enabled window")
     elif window is not None and not window.disabled:
         raise ValueError(f"scheme {name!r} cannot honour a random fill window")
-    window = window if random_fill else DISABLED_WINDOW
+    window = window if spec.uses_window else DISABLED_WINDOW
 
-    store: TagStore
-    if name in ("demand_fetch", "random_fill"):
-        store = SetAssociativeCache(cache_bytes, associativity)
-    elif name in ("newcache", "random_fill_newcache"):
-        store = Newcache(cache_bytes,
-                         seed=derive_seed(seed, "leakage", name, "store"))
-    elif name == "rpcache":
-        store = RPCache(cache_bytes, associativity,
-                        seed=derive_seed(seed, "leakage", name, "store"))
-    else:  # plcache_preload
-        store = PLCache(cache_bytes, associativity)
+    geometry = StoreGeometry(
+        cache_bytes=cache_bytes,
+        associativity=associativity,
+        seed=derive_seed(seed, "leakage", name, "store"),
+    )
+    store: TagStore = spec.store_factory(geometry)
 
-    validate_window(window, capacity_lines=store.capacity_lines,
-                    where=f"scheme {name!r}")
-    victim_cache = FunctionalRandomFillCache(
-        store, window,
-        HardwareRng(derive_seed(seed, "leakage", name, "victim-fill")),
-        ctx=VICTIM_CTX)
+    validate_window(
+        window, capacity_lines=store.capacity_lines, where=f"scheme {name!r}"
+    )
+    fill_rng = HardwareRng(derive_seed(seed, "leakage", name, "victim-fill"))
+    if spec.victim_cache_factory is not None:
+        victim_cache = spec.victim_cache_factory(
+            store, window, fill_rng, region, VICTIM_CTX
+        )
+    else:
+        victim_cache = FunctionalRandomFillCache(
+            store, window, fill_rng, ctx=VICTIM_CTX
+        )
     first = region.first_line
     victim_lines = frozenset(
-        range(max(0, first - window.a), first + region.num_lines + window.b))
+        range(max(0, first - window.a), first + region.num_lines + window.b)
+    )
     scheme = FunctionalScheme(
-        name=name, tag_store=store, window=window, region=region,
-        victim_cache=victim_cache, victim_lines=victim_lines,
-        preloaded=(name == "plcache_preload"))
+        name=name,
+        tag_store=store,
+        window=window,
+        region=region,
+        victim_cache=victim_cache,
+        victim_lines=victim_lines,
+        preloaded=spec.preload,
+        custom_fill=spec.has_custom_fill,
+    )
     if scheme.preloaded:
         scheme._preload()
     return scheme

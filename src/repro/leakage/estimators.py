@@ -51,16 +51,14 @@ class JointCounts:
         self.total = 0
 
     @classmethod
-    def from_samples(cls,
-                     samples: Iterable[Tuple[int, Observation]]) -> "JointCounts":
+    def from_samples(cls, samples: Iterable[Tuple[int, Observation]]) -> "JointCounts":
         joint = cls()
         for secret, obs in samples:
             joint.add(secret, obs)
         return joint
 
     @classmethod
-    def from_nested(cls, nested: Mapping[int, Mapping[Observation, int]],
-                    ) -> "JointCounts":
+    def from_nested(cls, nested: Mapping[int, Mapping[Observation, int]]) -> "JointCounts":
         """Build from a ``{secret: {observation: count}}`` mapping."""
         joint = cls()
         for secret, row in nested.items():
@@ -85,8 +83,7 @@ class JointCounts:
         return dict(self._counts.get(secret, {}))
 
     def secret_marginal(self) -> Dict[int, int]:
-        return {secret: sum(row.values())
-                for secret, row in self._counts.items()}
+        return {secret: sum(row.values()) for secret, row in self._counts.items()}
 
     def observation_marginal(self) -> Dict[Observation, int]:
         marginal: Dict[Observation, int] = {}
@@ -112,9 +109,11 @@ class JointCounts:
         return self._counts == other._counts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"JointCounts({len(self)} secrets, "
-                f"{self.num_joint_symbols()} joint symbols, "
-                f"total={self.total})")
+        return (
+            f"JointCounts({len(self)} secrets, "
+            f"{self.num_joint_symbols()} joint symbols, "
+            f"total={self.total})"
+        )
 
 
 def entropy_bits(counts: Mapping[Hashable, int]) -> float:
@@ -130,8 +129,7 @@ def entropy_bits(counts: Mapping[Hashable, int]) -> float:
     return h
 
 
-def mutual_information_bits(joint: JointCounts,
-                            correction: str = "miller-madow") -> float:
+def mutual_information_bits(joint: JointCounts, correction: str = "miller-madow") -> float:
     """Empirical I(S; O) in bits.
 
     ``correction`` is ``"none"`` for the raw plug-in estimate or
@@ -141,8 +139,7 @@ def mutual_information_bits(joint: JointCounts,
     at zero (true MI is non-negative).
     """
     if correction not in MI_CORRECTIONS:
-        raise ValueError(
-            f"unknown correction {correction!r}; known: {MI_CORRECTIONS}")
+        raise ValueError(f"unknown correction {correction!r}; known: {MI_CORRECTIONS}")
     total = joint.total
     if total <= 0:
         raise ValueError("mutual information of an empty joint is undefined")
@@ -151,8 +148,7 @@ def mutual_information_bits(joint: JointCounts,
     mi = 0.0
     for secret, obs, count in joint.items():
         p = count / total
-        mi += p * math.log2(
-            p / ((s_marginal[secret] / total) * (o_marginal[obs] / total)))
+        mi += p * math.log2(p / ((s_marginal[secret] / total) * (o_marginal[obs] / total)))
     if correction == "miller-madow":
         k_s = len(s_marginal)
         k_o = len(o_marginal)
@@ -212,7 +208,7 @@ def _expected_rank(counts: Sequence[int]) -> float:
         j = i
         while j < len(ordered) and ordered[j] == ordered[i]:
             j += 1
-        block = j - i                      # ties occupy ranks [rank, rank+block)
+        block = j - i  # ties occupy ranks [rank, rank+block)
         mean_rank = rank + (block - 1) / 2.0
         for k in range(i, j):
             ge += (ordered[k] / total) * mean_rank
@@ -221,12 +217,13 @@ def _expected_rank(counts: Sequence[int]) -> float:
     return ge
 
 
-def success_rate_curve(joint: JointCounts,
-                       measurement_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
-                       repeats: int = 200,
-                       seed: int = 0,
-                       smoothing: float = 0.5,
-                       ) -> List[Tuple[int, float, float]]:
+def success_rate_curve(
+    joint: JointCounts,
+    measurement_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    repeats: int = 200,
+    seed: int = 0,
+    smoothing: float = 0.5,
+) -> List[Tuple[int, float, float]]:
     """Success rate and mean key rank of an ML attacker vs. measurements.
 
     The attacker knows the empirical templates P(o | s) (profiling
@@ -246,7 +243,7 @@ def success_rate_curve(joint: JointCounts,
     if not secrets:
         raise ValueError("success rate of an empty joint is undefined")
     obs_alphabet = list(joint.observation_marginal())
-    k_obs = len(obs_alphabet) + 1          # +1: an implicit unseen symbol
+    k_obs = len(obs_alphabet) + 1  # +1: an implicit unseen symbol
     # Per-secret sampling tables and smoothed log-likelihood templates.
     rows = [joint.row(secret) for secret in secrets]
     cum_tables = []
@@ -262,11 +259,11 @@ def success_rate_curve(joint: JointCounts,
     for row in rows:
         denom = math.log(sum(row.values()) + smoothing * k_obs)
         log_templates.append(
-            {obs: math.log(row.get(obs, 0) + smoothing) - denom
-             for obs in obs_alphabet})
-    floor_scores = [math.log(smoothing)
-                    - math.log(sum(row.values()) + smoothing * k_obs)
-                    for row in rows]
+            {obs: math.log(row.get(obs, 0) + smoothing) - denom for obs in obs_alphabet}
+        )
+    floor_scores = [
+        math.log(smoothing) - math.log(sum(row.values()) + smoothing * k_obs) for row in rows
+    ]
 
     points: List[Tuple[int, float, float]] = []
     for n in measurement_counts:
@@ -278,8 +275,7 @@ def success_rate_curve(joint: JointCounts,
         for _ in range(repeats):
             true_idx = rng.randrange(len(secrets))
             symbols, cum, total_s = cum_tables[true_idx]
-            drawn = [symbols[bisect_right(cum, rng.randrange(total_s))]
-                     for _ in range(n)]
+            drawn = [symbols[bisect_right(cum, rng.randrange(total_s))] for _ in range(n)]
             scores = []
             for idx in range(len(secrets)):
                 template = log_templates[idx]
@@ -295,8 +291,7 @@ def success_rate_curve(joint: JointCounts,
     return points
 
 
-def n_to_success(curve: Sequence[Tuple[int, float, float]],
-                 target: float = 0.9) -> Optional[int]:
+def n_to_success(curve: Sequence[Tuple[int, float, float]], target: float = 0.9) -> Optional[int]:
     """Smallest measurement count reaching ``target`` success rate."""
     if not 0 < target <= 1:
         raise ValueError(f"target must be in (0, 1], got {target}")
@@ -306,8 +301,7 @@ def n_to_success(curve: Sequence[Tuple[int, float, float]],
     return None
 
 
-def sample_window_channel(m_lines: int, window, trials: int,
-                          seed: int = 0) -> JointCounts:
+def sample_window_channel(m_lines: int, window, trials: int, seed: int = 0) -> JointCounts:
     """Sample the Equation (7) storage channel directly.
 
     The sender is uniform over ``[0, M)``; the receiver observes

@@ -43,19 +43,19 @@ class OccupancyResult:
     """Aggregate outcome of an occupancy-channel measurement campaign."""
 
     trials: int
-    joint: JointCounts           # secret -> {attacker miss count: trials}
-    mutual_information: float    # Miller-Madow corrected, bits
+    joint: JointCounts  # secret -> {attacker miss count: trials}
+    mutual_information: float  # Miller-Madow corrected, bits
     mutual_information_plugin: float
-    guessing_entropy: float      # conditional on the observation
+    guessing_entropy: float  # conditional on the observation
 
     @property
     def secret_space(self) -> int:
         return len(self.joint)
 
 
-def run_occupancy_trials(scheme: FunctionalScheme,
-                         trials: int = 1000,
-                         seed: int = 0) -> OccupancyResult:
+def run_occupancy_trials(
+    scheme: FunctionalScheme, trials: int = 1000, seed: int = 0
+) -> OccupancyResult:
     """Run the occupancy channel against one functional scheme.
 
     Each trial: reset the victim's lines (fresh victim run), prime the
@@ -76,6 +76,7 @@ def run_occupancy_trials(scheme: FunctionalScheme,
     rng = random.Random(derive_seed(seed, "occupancy", scheme.name, "secrets"))
     joint = JointCounts()
     from repro.check import active_checker
+
     checker = active_checker()
 
     for _ in range(trials):
@@ -92,7 +93,7 @@ def run_occupancy_trials(scheme: FunctionalScheme,
                 store.fill(line, attacker_ctx)
         # Victim: a secret-dependent working set.
         secret = rng.randrange(m)
-        for line in region_lines[:secret + 1]:
+        for line in region_lines[: secret + 1]:
             scheme.victim_access(line)
         # Probe: the aggregate miss count is the whole observation.
         # ``probe`` is side-effect-free in every store and each prime
@@ -100,15 +101,13 @@ def run_occupancy_trials(scheme: FunctionalScheme,
         # collapses into one numpy range-membership count over the
         # store's resident-line array.
         resident = resident_array(store)
-        present = int(np.count_nonzero(
-            (resident >= ATTACKER_BASE_LINE) & (resident < prime_end)))
+        present = int(np.count_nonzero((resident >= ATTACKER_BASE_LINE) & (resident < prime_end)))
         joint.add(secret, n_prime - present)
 
     return OccupancyResult(
         trials=trials,
         joint=joint,
         mutual_information=mutual_information_bits(joint),
-        mutual_information_plugin=mutual_information_bits(
-            joint, correction="none"),
+        mutual_information_plugin=mutual_information_bits(joint, correction="none"),
         guessing_entropy=conditional_guessing_entropy(joint),
     )

@@ -35,28 +35,40 @@ def leakage_rows(results: Sequence[LeakageCellResult]) -> List[List[str]]:
     """Rows of the per-cell summary table, in result order."""
     rows = []
     for r in results:
-        analytic = f"{r.analytic_bits:.3f}" if r.analytic_bits is not None \
-            else "-"
-        n90 = str(r.n_to_success_90) if r.n_to_success_90 is not None \
+        analytic = f"{r.analytic_bits:.3f}" if r.analytic_bits is not None else "-"
+        n90 = (
+            str(r.n_to_success_90)
+            if r.n_to_success_90 is not None
             else f">{r.success_curve[-1][0]}"
-        rows.append([
-            r.channel, r.scheme, str(r.window_size), str(r.seed),
-            f"{r.mi_bits:.3f}", analytic, f"{r.guessing_entropy:.2f}", n90,
-        ])
+        )
+        rows.append(
+            [
+                r.channel,
+                r.scheme,
+                str(r.window_size),
+                str(r.seed),
+                f"{r.mi_bits:.3f}",
+                analytic,
+                f"{r.guessing_entropy:.2f}",
+                n90,
+            ]
+        )
     return rows
 
 
 def format_leakage_table(results: Sequence[LeakageCellResult]) -> str:
     return format_table(
-        ["channel", "scheme", "W", "seed", "MI (bits)", "analytic",
-         "guess entropy", "N to 90%"],
+        ["channel", "scheme", "W", "seed", "MI (bits)", "analytic", "guess entropy", "N to 90%"],
         leakage_rows(results),
-        title="Leakage: empirical MI / guessing entropy / measurements")
+        title="Leakage: empirical MI / guessing entropy / measurements",
+    )
 
 
-def validate_results(results: Sequence[LeakageCellResult],
-                     eq7_tolerance: float = EQ7_TOLERANCE_BITS,
-                     bound_slack: float = BOUND_SLACK_BITS) -> Dict:
+def validate_results(
+    results: Sequence[LeakageCellResult],
+    eq7_tolerance: float = EQ7_TOLERANCE_BITS,
+    bound_slack: float = BOUND_SLACK_BITS,
+) -> Dict:
     """Check the sweep against the paper's analytic predictions.
 
     * every ``eq7`` cell's Miller-Madow MI matches the Equation (7)/(8)
@@ -76,33 +88,37 @@ def validate_results(results: Sequence[LeakageCellResult],
     for r in results:
         if r.channel == "eq7":
             err = abs(r.mi_bits - r.analytic_bits)
-            check(f"eq7 W={r.window_size} seed={r.seed} matches capacity",
-                  err <= eq7_tolerance,
-                  f"|{r.mi_bits:.4f} - {r.analytic_bits:.4f}| = {err:.4f} "
-                  f"<= {eq7_tolerance}")
+            check(
+                f"eq7 W={r.window_size} seed={r.seed} matches capacity",
+                err <= eq7_tolerance,
+                f"|{r.mi_bits:.4f} - {r.analytic_bits:.4f}| = {err:.4f} <= {eq7_tolerance}",
+            )
         elif r.analytic_bits is not None:
-            check(f"{r.channel} {r.scheme} W={r.window_size} "
-                  f"seed={r.seed} below bound",
-                  r.mi_bits <= r.analytic_bits + bound_slack,
-                  f"{r.mi_bits:.4f} <= {r.analytic_bits:.4f} + {bound_slack}")
+            check(
+                f"{r.channel} {r.scheme} W={r.window_size} seed={r.seed} below bound",
+                r.mi_bits <= r.analytic_bits + bound_slack,
+                f"{r.mi_bits:.4f} <= {r.analytic_bits:.4f} + {bound_slack}",
+            )
 
     seeds = sorted({r.seed for r in results})
     for seed in seeds:
-        occupancy = [r for r in results
-                     if r.channel == "occupancy" and r.seed == seed]
+        occupancy = [r for r in results if r.channel == "occupancy" and r.seed == seed]
         demand = [r for r in occupancy if r.scheme == "demand_fetch"]
-        randomized = [r for r in occupancy if r.scheme == "random_fill"
-                      and r.window_size >= 8]
+        randomized = [r for r in occupancy if r.scheme == "random_fill" and r.window_size >= 8]
         for d in demand:
             for rf in randomized:
-                check(f"occupancy random_fill W={rf.window_size} < "
-                      f"demand_fetch seed={seed}",
-                      rf.mi_bits < d.mi_bits,
-                      f"{rf.mi_bits:.4f} < {d.mi_bits:.4f}")
+                check(
+                    f"occupancy random_fill W={rf.window_size} < demand_fetch seed={seed}",
+                    rf.mi_bits < d.mi_bits,
+                    f"{rf.mi_bits:.4f} < {d.mi_bits:.4f}",
+                )
         for r in occupancy:
             if r.scheme == "plcache_preload":
-                check(f"occupancy plcache_preload ~0 seed={seed}",
-                      r.mi_bits < 0.05, f"{r.mi_bits:.4f} < 0.05")
+                check(
+                    f"occupancy plcache_preload ~0 seed={seed}",
+                    r.mi_bits < 0.05,
+                    f"{r.mi_bits:.4f} < 0.05",
+                )
     return {
         "passed": sum(1 for c in checks if c["ok"]),
         "failed": sum(1 for c in checks if not c["ok"]),
@@ -110,10 +126,12 @@ def validate_results(results: Sequence[LeakageCellResult],
     }
 
 
-def write_leakage_report(results: Sequence[LeakageCellResult],
-                         validation: Optional[Dict] = None,
-                         stats: Optional[Dict] = None,
-                         path: str = DEFAULT_LEAKAGE_REPORT) -> Dict:
+def write_leakage_report(
+    results: Sequence[LeakageCellResult],
+    validation: Optional[Dict] = None,
+    stats: Optional[Dict] = None,
+    path: str = DEFAULT_LEAKAGE_REPORT,
+) -> Dict:
     """Persist the sweep under the ``leakage`` entry of ``path``."""
     if validation is None:
         validation = validate_results(results)

@@ -7,6 +7,10 @@ and seed.  ``spec.run()`` is a pure function of the spec, so cells go
 through :func:`repro.runner.pool.run_cells` and are bit-identical for
 any ``--jobs`` count, exactly like the figure sweeps.
 
+Scheme validation, window rules and the analytic capacity bound all
+follow the scheme-plugin registry (:mod:`repro.schemes`): a newly
+registered functional scheme is sweepable here with no further code.
+
 Attack modules are imported lazily inside ``run`` (the attacks package
 itself consumes :mod:`repro.leakage.estimators`, so importing them at
 module load would cycle).
@@ -30,6 +34,7 @@ from repro.leakage.estimators import (
     sample_window_channel,
     success_rate_curve,
 )
+from repro.schemes import NOFILL_RANDOM, RANDOM_FILL, get_scheme
 from repro.util.rng import derive_seed
 
 #: leakage channels a cell can measure
@@ -54,7 +59,7 @@ class LeakageCellSpec:
 
     ``window`` is the ``(a, b)`` bound pair; required (enabled) for the
     random fill schemes and for the ``eq7`` reference channel, and
-    absent for the demand-fetch schemes.
+    absent for every other fill strategy.
     """
 
     channel: str
@@ -62,7 +67,7 @@ class LeakageCellSpec:
     window: Optional[Tuple[int, int]] = None
     m_lines: int = 16
     cache_bytes: int = 8 * 1024
-    trials: int = 0                      # 0 -> DEFAULT_TRIALS[channel]
+    trials: int = 0  # 0 -> DEFAULT_TRIALS[channel]
     seed: int = 0
     curve_points: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
     curve_repeats: int = 200
@@ -70,21 +75,18 @@ class LeakageCellSpec:
     def __post_init__(self) -> None:
         if self.channel not in LEAKAGE_CHANNELS:
             raise ValueError(
-                f"unknown channel {self.channel!r}; known: {LEAKAGE_CHANNELS}")
-        if self.scheme not in LEAKAGE_SCHEMES:
-            raise ValueError(
-                f"unknown scheme {self.scheme!r}; known: {LEAKAGE_SCHEMES}")
+                f"unknown channel {self.channel!r}; known: {LEAKAGE_CHANNELS}"
+            )
+        spec = get_scheme(self.scheme, functional=True)
         if self.m_lines <= 1:
             raise ValueError(f"m_lines must be > 1, got {self.m_lines}")
-        needs_window = (self.channel == "eq7"
-                        or self.scheme in RANDOM_FILL_SCHEMES)
+        needs_window = self.channel == "eq7" or spec.uses_window
         if needs_window and self.window is None:
             raise ValueError(
-                f"channel {self.channel!r} / scheme {self.scheme!r} "
-                f"needs a window")
+                f"channel {self.channel!r} / scheme {self.scheme!r} needs a window"
+            )
         if not needs_window and self.window is not None:
-            raise ValueError(
-                f"scheme {self.scheme!r} cannot honour a window")
+            raise ValueError(f"scheme {self.scheme!r} cannot honour a window")
 
     @property
     def effective_trials(self) -> int:
@@ -119,15 +121,25 @@ class LeakageCellSpec:
     def run(self) -> "LeakageCellResult":
         """Measure this cell; pure function of the spec."""
         joint = self._collect_joint()
-        curve = tuple(success_rate_curve(
-            joint, self.curve_points, repeats=self.curve_repeats,
-            seed=derive_seed(self.seed, "curve", self.channel, self.scheme,
-                             self.window)))
+        curve = tuple(
+            success_rate_curve(
+                joint,
+                self.curve_points,
+                repeats=self.curve_repeats,
+                seed=derive_seed(
+                    self.seed, "curve", self.channel, self.scheme, self.window
+                ),
+            )
+        )
         analytic = self._analytic_bits()
         return LeakageCellResult(
-            channel=self.channel, scheme=self.scheme, window=self.window,
-            window_size=self.window_size, m_lines=self.m_lines,
-            trials=self.effective_trials, seed=self.seed,
+            channel=self.channel,
+            scheme=self.scheme,
+            window=self.window,
+            window_size=self.window_size,
+            m_lines=self.m_lines,
+            trials=self.effective_trials,
+            seed=self.seed,
             mi_bits=mutual_information_bits(joint),
             mi_plugin_bits=mutual_information_bits(joint, correction="none"),
             guessing_entropy=conditional_guessing_entropy(joint),
@@ -142,27 +154,45 @@ class LeakageCellSpec:
         trials = self.effective_trials
         if self.channel == "eq7":
             return sample_window_channel(
-                self.m_lines, RandomFillWindow(*self.window), trials,
-                seed=derive_seed(self.seed, "eq7-cell", self.window))
+                self.m_lines,
+                RandomFillWindow(*self.window),
+                trials,
+                seed=derive_seed(self.seed, "eq7-cell", self.window),
+            )
         from repro.leakage.adapters import build_functional_scheme
         from repro.secure.region import ProtectedRegion
+
         region = ProtectedRegion(0x10000, self.m_lines * 64)
         window = RandomFillWindow(*self.window) if self.window else None
         scheme = build_functional_scheme(
-            self.scheme, region, window=window, cache_bytes=self.cache_bytes,
-            seed=derive_seed(self.seed, "scheme", self.channel, self.scheme,
-                             self.window))
+            self.scheme,
+            region,
+            window=window,
+            cache_bytes=self.cache_bytes,
+            seed=derive_seed(
+                self.seed, "scheme", self.channel, self.scheme, self.window
+            ),
+        )
         if self.channel == "occupancy":
             from repro.leakage.occupancy import run_occupancy_trials
+
             result = run_occupancy_trials(
-                scheme, trials=trials,
-                seed=derive_seed(self.seed, "occ", self.scheme, self.window))
+                scheme,
+                trials=trials,
+                seed=derive_seed(self.seed, "occ", self.scheme, self.window),
+            )
             return result.joint
         # flush_reload (lazy: repro.attacks itself imports the estimators)
         from repro.attacks.flush_reload import run_flush_reload_trials
+
         result = run_flush_reload_trials(
-            scheme.tag_store, region, scheme.window, trials=trials,
-            seed=derive_seed(self.seed, "fr", self.scheme, self.window))
+            scheme.tag_store,
+            region,
+            scheme.window,
+            trials=trials,
+            seed=derive_seed(self.seed, "fr", self.scheme, self.window),
+            victim_cache=scheme.victim_cache if scheme.custom_fill else None,
+        )
         return result.joint
 
     def _analytic_bits(self) -> Optional[float]:
@@ -173,13 +203,19 @@ class LeakageCellSpec:
         ``eq7``, an upper bound for Flush-Reload on the SA random fill
         scheme (the attacker probing only the region can never beat the
         full-observation receiver), and ``log2 M`` for any demand-fetch
-        flush-reload.  The occupancy channel has no closed form here.
+        flush-reload.  The occupancy channel has no closed form here,
+        and neither do custom fill strategies (Random-and-Safe's decoy
+        fill is outside the windowed model).
         """
         if self.channel == "occupancy":
             return None
-        if self.channel == "eq7" or self.scheme in RANDOM_FILL_SCHEMES:
-            return channel_capacity_bits(
-                self.m_lines, RandomFillWindow(*self.window))
+        if self.channel == "eq7":
+            return channel_capacity_bits(self.m_lines, RandomFillWindow(*self.window))
+        strategy = get_scheme(self.scheme, functional=True).fill_strategy
+        if strategy == RANDOM_FILL:
+            return channel_capacity_bits(self.m_lines, RandomFillWindow(*self.window))
+        if strategy == NOFILL_RANDOM:
+            return None
         return math.log2(self.m_lines)
 
 
@@ -194,12 +230,12 @@ class LeakageCellResult:
     m_lines: int
     trials: int
     seed: int
-    mi_bits: float                  # Miller-Madow corrected
+    mi_bits: float  # Miller-Madow corrected
     mi_plugin_bits: float
-    guessing_entropy: float         # conditional on the observation
-    blind_guessing_entropy: float   # no observation: (M + 1) / 2 baseline
+    guessing_entropy: float  # conditional on the observation
+    blind_guessing_entropy: float  # no observation: (M + 1) / 2 baseline
     analytic_bits: Optional[float]  # Eq. 7/8 capacity where defined
-    demand_bits: float              # log2 M, the Figure 5 normalizer
+    demand_bits: float  # log2 M, the Figure 5 normalizer
     success_curve: Tuple[Tuple[int, float, float], ...]
     n_to_success_90: Optional[int]
 
@@ -231,21 +267,22 @@ def window_pair(size: int) -> Optional[Tuple[int, int]]:
     return (window.a, window.b)
 
 
-def leakage_grid(channels: Sequence[str] = LEAKAGE_CHANNELS,
-                 schemes: Sequence[str] = ("demand_fetch", "random_fill",
-                                           "newcache", "rpcache",
-                                           "plcache_preload"),
-                 window_sizes: Sequence[int] = RANDOM_FILL_WINDOW_SIZES,
-                 m_lines: int = 16,
-                 cache_bytes: int = 8 * 1024,
-                 seeds: Sequence[int] = (0,),
-                 trials: int = 0,
-                 curve_repeats: int = 200) -> List[LeakageCellSpec]:
+def leakage_grid(
+    channels: Sequence[str] = LEAKAGE_CHANNELS,
+    schemes: Sequence[str] = LEAKAGE_SCHEMES,
+    window_sizes: Sequence[int] = RANDOM_FILL_WINDOW_SIZES,
+    m_lines: int = 16,
+    cache_bytes: int = 8 * 1024,
+    seeds: Sequence[int] = (0,),
+    trials: int = 0,
+    curve_repeats: int = 200,
+) -> List[LeakageCellSpec]:
     """Build the scheme x window x seed cell grid.
 
     ``eq7`` contributes one cell per window size (it has no scheme);
-    random fill schemes contribute one cell per window size; demand
-    fetch schemes one cell each.  ``trials`` 0 keeps the per-channel
+    random fill schemes contribute one cell per window size; every
+    other scheme one cell each.  The default ``schemes`` is every
+    registered functional scheme.  ``trials`` 0 keeps the per-channel
     defaults.
     """
     specs: List[LeakageCellSpec] = []
@@ -255,21 +292,36 @@ def leakage_grid(channels: Sequence[str] = LEAKAGE_CHANNELS,
                 raise ValueError(f"unknown channel {channel!r}")
             if channel == "eq7":
                 for size in window_sizes:
-                    specs.append(LeakageCellSpec(
-                        channel="eq7", scheme="random_fill",
-                        window=window_pair(size), m_lines=m_lines,
-                        trials=trials, seed=seed,
-                        curve_repeats=curve_repeats))
+                    specs.append(
+                        LeakageCellSpec(
+                            channel="eq7",
+                            scheme="random_fill",
+                            window=window_pair(size),
+                            m_lines=m_lines,
+                            trials=trials,
+                            seed=seed,
+                            curve_repeats=curve_repeats,
+                        )
+                    )
                 continue
             for scheme in schemes:
-                cell_windows = [window_pair(size) for size in window_sizes] \
-                    if scheme in RANDOM_FILL_SCHEMES else [None]
+                windowed = get_scheme(scheme, functional=True).uses_window
+                cell_windows = (
+                    [window_pair(size) for size in window_sizes] if windowed else [None]
+                )
                 for window in cell_windows:
-                    specs.append(LeakageCellSpec(
-                        channel=channel, scheme=scheme, window=window,
-                        m_lines=m_lines, cache_bytes=cache_bytes,
-                        trials=trials, seed=seed,
-                        curve_repeats=curve_repeats))
+                    specs.append(
+                        LeakageCellSpec(
+                            channel=channel,
+                            scheme=scheme,
+                            window=window,
+                            m_lines=m_lines,
+                            cache_bytes=cache_bytes,
+                            trials=trials,
+                            seed=seed,
+                            curve_repeats=curve_repeats,
+                        )
+                    )
     return specs
 
 
@@ -278,12 +330,13 @@ def run_leakage_cell(spec: LeakageCellSpec) -> LeakageCellResult:
     return spec.run()
 
 
-def run_leakage_sweep(specs: Sequence[LeakageCellSpec],
-                      jobs: Optional[int] = None,
-                      telemetry=None,
-                      progress: Optional[bool] = None,
-                      batch: Optional[bool] = None,
-                      ) -> List[LeakageCellResult]:
+def run_leakage_sweep(
+    specs: Sequence[LeakageCellSpec],
+    jobs: Optional[int] = None,
+    telemetry=None,
+    progress: Optional[bool] = None,
+    batch: Optional[bool] = None,
+) -> List[LeakageCellResult]:
     """Run a grid of leakage cells through the supervised runner.
 
     ``telemetry`` (a :class:`repro.runner.telemetry.Telemetry` or a
@@ -294,5 +347,5 @@ def run_leakage_sweep(specs: Sequence[LeakageCellSpec],
     sweep.
     """
     from repro.runner.pool import run_cells
-    return run_cells(specs, jobs=jobs, telemetry=telemetry,
-                     progress=progress, batch=batch)
+
+    return run_cells(specs, jobs=jobs, telemetry=telemetry, progress=progress, batch=batch)

@@ -53,6 +53,13 @@ class CellSpec:
         if self.kind not in CELL_KINDS:
             known = ", ".join(CELL_KINDS)
             raise ValueError(f"unknown cell kind {self.kind!r}; known: {known}")
+        # Scheme names come from the plugin registry; rejecting unknown
+        # names here (with the dynamic registered list) is what turns a
+        # typo'd HTTP sweep into a structured 400 instead of a worker
+        # crash.  Lazy import: the registry pulls in the cache stack.
+        from repro.schemes import get_scheme
+
+        get_scheme(self.scheme, timing=True)
 
     def result_cache_token(self) -> str:
         """Versions of everything this cell's result depends on.

@@ -1,0 +1,46 @@
+"""Scheme-plugin registry and the randomized-cache design zoo.
+
+``import repro.schemes`` registers every built-in design (the six
+legacy schemes plus skewed_random / chameleon / random_and_safe) in the
+process-wide registry; all scheme dispatch in the codebase goes through
+the helpers re-exported here.  Adding design N+1 is one module plus one
+:func:`register` call — see the README "Scheme zoo" section for a
+worked example.
+"""
+
+from repro.schemes.registry import (
+    DEMAND,
+    FILL_STRATEGIES,
+    NOFILL_RANDOM,
+    RANDOM_FILL,
+    REGISTRY,
+    SchemeRegistry,
+    SchemeSpec,
+    StoreGeometry,
+    functional_scheme_names,
+    get_scheme,
+    random_fill_scheme_names,
+    register,
+    scheme_names,
+    timing_scheme_names,
+)
+
+# Importing the package is what populates the registry.
+import repro.schemes.builtin  # noqa: E402,F401  (registration side effects)
+
+__all__ = [
+    "DEMAND",
+    "FILL_STRATEGIES",
+    "NOFILL_RANDOM",
+    "RANDOM_FILL",
+    "REGISTRY",
+    "SchemeRegistry",
+    "SchemeSpec",
+    "StoreGeometry",
+    "functional_scheme_names",
+    "get_scheme",
+    "random_fill_scheme_names",
+    "register",
+    "scheme_names",
+    "timing_scheme_names",
+]

@@ -1,0 +1,136 @@
+"""Chameleon Cache: random replacement + a tiny fully-associative victim.
+
+Chameleon Cache (arXiv 2209.14673) makes a set-associative cache with
+random replacement *look* fully associative to an attacker: a line
+displaced from its set is not evicted but parked in a small
+fully-associative victim cache; only random victim-cache evictions
+leave the cache for real.  A victim-cache hit silently migrates the
+line back to its home set (displacing a random way into the victim in
+its place), so from the outside the eviction an attacker tries to
+observe is decoupled from the set contention that caused it —
+approximating fully-associative random replacement at set-associative
+lookup cost.
+
+Like the other mapping/replacement randomizers it remains demand fetch:
+Flush-Reload still works, and the occupancy channel sees every victim
+fill displace one attacker line regardless of where it lands.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.cache.context import AccessContext, DEFAULT_CONTEXT
+from repro.cache.tagstore import TagStore
+from repro.util.rng import HardwareRng, derive_seed
+
+
+class ChameleonCache(TagStore):
+    """SA store with random replacement and a random-evicting victim cache.
+
+    ``capacity_lines`` counts the main array *plus* the victim entries —
+    both hold live, probeable lines.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int = 4,
+        line_size: int = 64,
+        victim_entries: int = 8,
+        seed: int = 0,
+    ):
+        if size_bytes <= 0 or size_bytes % (associativity * line_size):
+            raise ValueError(
+                f"size {size_bytes} not divisible into {associativity}-way "
+                f"sets of {line_size}-byte lines"
+            )
+        if victim_entries <= 0:
+            raise ValueError(f"victim_entries must be positive, got {victim_entries}")
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.victim_entries = victim_entries
+        self.main_lines = size_bytes // line_size
+        self.capacity_lines = self.main_lines + victim_entries
+        num_sets = self.main_lines // associativity
+        if num_sets & (num_sets - 1):
+            raise ValueError("chameleon cache needs a power-of-two set count")
+        self._set_mask = num_sets - 1
+        self._sets: List[List[int]] = [[] for _ in range(num_sets)]
+        self._victim: List[int] = []
+        self._rng = HardwareRng(derive_seed(seed, "chameleon", "repl"))
+
+    # -- internals ---------------------------------------------------------
+
+    def _displace_to_victim(self, cache_set: List[int]) -> None:
+        """Move a random way of a full set into the victim cache."""
+        way = self._rng.draw_below(len(cache_set))
+        self._victim.append(cache_set.pop(way))
+
+    def _evict_from_victim(self) -> int:
+        """A true eviction: a uniformly random victim-cache entry leaves."""
+        slot = self._rng.draw_below(len(self._victim))
+        return self._victim.pop(slot)
+
+    # -- TagStore interface ------------------------------------------------
+
+    def probe(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> bool:
+        return line_addr in self._sets[line_addr & self._set_mask] or line_addr in self._victim
+
+    def access(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> bool:
+        cache_set = self._sets[line_addr & self._set_mask]
+        if line_addr in cache_set:
+            return True
+        try:
+            slot = self._victim.index(line_addr)
+        except ValueError:
+            return False
+        # Victim hit: migrate home, swapping a random way into the victim
+        # (net victim occupancy unchanged — no true eviction on a hit).
+        self._victim.pop(slot)
+        if len(cache_set) >= self.associativity:
+            self._displace_to_victim(cache_set)
+        cache_set.append(line_addr)
+        return True
+
+    def fill(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> Optional[int]:
+        cache_set = self._sets[line_addr & self._set_mask]
+        if line_addr in cache_set or line_addr in self._victim:
+            return None
+        if len(cache_set) >= self.associativity:
+            self._displace_to_victim(cache_set)
+        cache_set.append(line_addr)
+        if len(self._victim) > self.victim_entries:
+            return self._evict_from_victim()
+        return None
+
+    def invalidate(self, line_addr: int) -> bool:
+        cache_set = self._sets[line_addr & self._set_mask]
+        if line_addr in cache_set:
+            cache_set.remove(line_addr)
+            return True
+        if line_addr in self._victim:
+            self._victim.remove(line_addr)
+            return True
+        return False
+
+    def flush(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+        self._victim.clear()
+
+    def resident_lines(self) -> Iterator[int]:
+        for cache_set in self._sets:
+            yield from cache_set
+        yield from self._victim
+
+    # -- checked-mode support ----------------------------------------------
+
+    def victim_contents(self) -> List[int]:
+        """The victim cache's current lines (invariant sanitizer + tests)."""
+        return list(self._victim)
+
+    def set_contents(self, set_index: int) -> List[int]:
+        """Line addresses of one main set (tests inspect this)."""
+        return list(self._sets[set_index])

@@ -1,0 +1,86 @@
+"""Random-and-Safe (RaS): no demand fill + decoy fills for secure loads.
+
+RaS (arXiv 2309.16172, the direct Princeton successor to the random
+fill cache) serves security-critical misses *without* installing the
+demand line, and instead issues a decoy fill for a random line drawn
+from the protected ("safe") region — so the cache-state change an
+attacker can observe is independent of the address the victim touched.
+Where the random fill window draws from a neighbourhood around the
+demand address (leaking a windowed distribution, Eq. 7), RaS draws
+uniformly over the whole protected region, taking the window limit
+``W -> M`` in one step.
+
+Two faces, matching the two halves of a :class:`SchemeSpec`:
+
+* :class:`RandomAndSafeFill` — the functional victim model the leakage
+  channels drive (mirrors
+  :class:`repro.analysis.hit_probability.FunctionalRandomFillCache`);
+* :class:`RandomAndSafePolicy` — the timing fill policy: protected
+  misses forward NOFILL and queue one decoy fill, everything else is
+  plain demand fetch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cache.context import AccessContext
+from repro.cache.controller import FillPolicy, MissPlan, NORMAL_PLAN
+from repro.cache.mshr import RequestType
+from repro.cache.tagstore import TagStore
+from repro.util.rng import HardwareRng
+
+
+class RandomAndSafeFill:
+    """Hit/miss-only victim model: miss -> one uniform in-region decoy fill.
+
+    The demand line is never installed.  Drop-in replacement for
+    ``FunctionalRandomFillCache`` on the leakage channels' victim side.
+    """
+
+    def __init__(
+        self,
+        tag_store: TagStore,
+        region_lines: Sequence[int],
+        rng: HardwareRng,
+        ctx: AccessContext,
+    ):
+        if not region_lines:
+            raise ValueError("random_and_safe needs a non-empty protected region")
+        self.tag_store = tag_store
+        self.region_lines = tuple(region_lines)
+        self.rng = rng
+        self.ctx = ctx
+
+    def access_line(self, line_addr: int) -> bool:
+        """One victim access; returns hit/miss and applies the decoy fill."""
+        if self.tag_store.access(line_addr, self.ctx):
+            return True
+        decoy = self.region_lines[self.rng.draw_below(len(self.region_lines))]
+        if not self.tag_store.probe(decoy, self.ctx):
+            self.tag_store.fill(decoy, self.ctx)
+        return False
+
+
+class RandomAndSafePolicy(FillPolicy):
+    """Timing policy: NOFILL + one decoy fill for protected misses."""
+
+    def __init__(self, protected, rng: HardwareRng):
+        self.protected = protected
+        self.rng = rng
+        self._region_lines = tuple(
+            line for region in protected for line in region.lines
+        )
+        if not self._region_lines:
+            raise ValueError("random_and_safe needs a non-empty protected region")
+        # Reused across misses, like RandomFillPolicy: the controller
+        # consumes each plan before asking for the next.
+        self._nofill_plan = MissPlan(RequestType.NOFILL)
+
+    def on_miss(self, line_addr: int, ctx: AccessContext) -> MissPlan:
+        if not self.protected.contains_line(line_addr):
+            return NORMAL_PLAN
+        decoy = self._region_lines[self.rng.draw_below(len(self._region_lines))]
+        plan = self._nofill_plan
+        plan.random_fill_lines = (decoy,)
+        return plan

@@ -1,0 +1,165 @@
+"""Skewed keyed-index randomization (CEASER / ScatterCache family).
+
+Each way hashes the line address through its own keyed index function,
+so a line's candidate slots are spread ("skewed") across the ways and
+an attacker cannot construct eviction sets from address arithmetic
+alone (Qureshi, MICRO'18; Werner et al., USENIX Sec'19).  Replacement
+picks uniformly among the candidate ways.  Periodic *epoch rekeying*
+draws fresh keys after a fixed number of fills, bounding how long any
+learned eviction set stays useful.
+
+Modeling notes, scoped to what the leakage channels observe:
+
+* The keyed hash is a xor-multiply-shift over the line address — not
+  cryptographic, but uniform and cheap, which is all the functional
+  channels measure.
+* CEASER remaps lines gradually during an epoch change; we model the
+  epoch boundary as rekey-plus-flush, the conservative end of that
+  design space (the whole cache pays cold misses after a rekey).
+
+It remains a demand-fetch design: mapping randomization does not blunt
+reuse-based attacks (Flush-Reload still sees the demand line) and, as
+with Newcache/RPcache, the occupancy channel is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import random
+
+from repro.cache.context import AccessContext, DEFAULT_CONTEXT
+from repro.cache.tagstore import TagStore
+from repro.util.rng import HardwareRng, derive_seed
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+class SkewedRandomCache(TagStore):
+    """Set-associative store with one keyed index hash per way.
+
+    Parameters
+    ----------
+    size_bytes, associativity, line_size:
+        Geometry; ways-many skews over ``capacity / associativity`` rows.
+    seed:
+        Derives the replacement RNG and every epoch's way keys.
+    rekey_period:
+        Fills between epoch rekeys (default ``100 * capacity_lines``);
+        a rekey flushes the cache, modeling a full CEASER remap.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int = 4,
+        line_size: int = 64,
+        seed: int = 0,
+        rekey_period: Optional[int] = None,
+    ):
+        if size_bytes <= 0 or size_bytes % (associativity * line_size):
+            raise ValueError(
+                f"size {size_bytes} not divisible into {associativity}-way "
+                f"sets of {line_size}-byte lines"
+            )
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.capacity_lines = size_bytes // line_size
+        self.num_rows = self.capacity_lines // associativity
+        if self.num_rows & (self.num_rows - 1):
+            raise ValueError("skewed cache needs a power-of-two row count")
+        self._row_shift = 64 - max(1, self.num_rows.bit_length() - 1)
+        self._seed = seed
+        self._rng = HardwareRng(derive_seed(seed, "skewed", "repl"))
+        self.epoch = 0
+        self._keys = self._draw_keys(0)
+        self.rekey_period = (
+            rekey_period if rekey_period is not None else 100 * self.capacity_lines
+        )
+        if self.rekey_period <= 0:
+            raise ValueError(f"rekey_period must be positive, got {self.rekey_period}")
+        self._fills_this_epoch = 0
+        #: ways[w][row] -> resident line address or None
+        self._ways: List[List[Optional[int]]] = [
+            [None] * self.num_rows for _ in range(associativity)
+        ]
+
+    # -- keyed indexing ----------------------------------------------------
+
+    def _draw_keys(self, epoch: int) -> List[int]:
+        key_rng = random.Random(derive_seed(self._seed, "skewed", "keys", epoch))
+        return [key_rng.getrandbits(64) for _ in range(self.associativity)]
+
+    def _row(self, line_addr: int, way: int) -> int:
+        if self.num_rows == 1:
+            return 0
+        hashed = ((line_addr ^ self._keys[way]) * _GOLDEN) & _MASK64
+        return hashed >> self._row_shift
+
+    def rekey(self) -> None:
+        """Start a new epoch: fresh way keys, cold cache."""
+        self.epoch += 1
+        self._keys = self._draw_keys(self.epoch)
+        self._fills_this_epoch = 0
+        for way in self._ways:
+            for row in range(self.num_rows):
+                way[row] = None
+
+    # -- TagStore interface ------------------------------------------------
+
+    def probe(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> bool:
+        for way in range(self.associativity):
+            if self._ways[way][self._row(line_addr, way)] == line_addr:
+                return True
+        return False
+
+    def access(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> bool:
+        # Random replacement keeps no recency state: access == probe.
+        return self.probe(line_addr, ctx)
+
+    def fill(self, line_addr: int, ctx: AccessContext = DEFAULT_CONTEXT) -> Optional[int]:
+        if self._fills_this_epoch >= self.rekey_period:
+            self.rekey()
+        rows = [self._row(line_addr, way) for way in range(self.associativity)]
+        for way, row in enumerate(rows):
+            if self._ways[way][row] == line_addr:
+                return None
+        self._fills_this_epoch += 1
+        for way, row in enumerate(rows):
+            if self._ways[way][row] is None:
+                self._ways[way][row] = line_addr
+                return None
+        way = self._rng.draw_below(self.associativity)
+        evicted = self._ways[way][rows[way]]
+        self._ways[way][rows[way]] = line_addr
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        for way in range(self.associativity):
+            row = self._row(line_addr, way)
+            if self._ways[way][row] == line_addr:
+                self._ways[way][row] = None
+                return True
+        return False
+
+    def flush(self) -> None:
+        for way in self._ways:
+            for row in range(self.num_rows):
+                way[row] = None
+
+    def resident_lines(self) -> Iterator[int]:
+        for way in self._ways:
+            for line in way:
+                if line is not None:
+                    yield line
+
+    # -- checked-mode support ----------------------------------------------
+
+    def resident_rows(self) -> Iterator["tuple[int, int, int]"]:
+        """(way, row, line) triples, for the invariant sanitizer."""
+        for way_index, way in enumerate(self._ways):
+            for row, line in enumerate(way):
+                if line is not None:
+                    yield (way_index, row, line)

@@ -62,10 +62,13 @@ class TestSpecValidation:
 
 class TestGrid:
     def test_default_grid_shape(self):
+        from repro.schemes import functional_scheme_names, random_fill_scheme_names
         specs = leakage_grid()
-        # eq7: 5 windows; flush_reload/occupancy: 5 RF windows + 4
-        # demand schemes each.
-        assert len(specs) == 5 + 2 * (5 + 4)
+        # eq7: 5 windows; flush_reload/occupancy: 5 windows per random
+        # fill scheme + 1 cell per other registered functional scheme.
+        n_rf = len(random_fill_scheme_names())
+        n_other = len(functional_scheme_names()) - n_rf
+        assert len(specs) == 5 + 2 * (5 * n_rf + n_other)
         assert {s.channel for s in specs} == set(LEAKAGE_CHANNELS)
 
     def test_seed_replicates(self):

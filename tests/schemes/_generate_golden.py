@@ -1,0 +1,94 @@
+"""Regenerate ``golden_schemes.json`` (the pre-registry golden pins).
+
+The golden file was produced by this script running against the
+pre-registry adapters (PR 8 tree); the conformance suite replays the
+same specs through the registry and requires bit-identical results.
+Regenerate only when a deliberate, documented measurement change bumps
+``LEAKAGE_CODE_VERSION`` / ``SIM_CODE_VERSION``:
+
+    PYTHONPATH=src python tests/schemes/_generate_golden.py
+"""
+
+import dataclasses
+import json
+import os
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_schemes.json")
+
+#: (scheme, window) points of the migrated six functional schemes
+LEAKAGE_POINTS = [
+    ("demand_fetch", None),
+    ("random_fill", (4, 3)),
+    ("newcache", None),
+    ("random_fill_newcache", (4, 3)),
+    ("rpcache", None),
+    ("plcache_preload", None),
+]
+
+#: (scheme, window) points of the migrated timing schemes (Figure 10)
+TIMING_POINTS = [
+    ("baseline", None),
+    ("random_fill", (4, 3)),
+    ("random_fill", (16, 15)),
+    ("newcache", None),
+    ("random_fill_newcache", (4, 3)),
+    ("plcache_preload", None),
+    ("tagged_prefetch", None),
+]
+
+
+def leakage_golden():
+    from repro.leakage.sweep import LeakageCellSpec
+
+    cells = []
+    for scheme, window in LEAKAGE_POINTS:
+        for channel in ("flush_reload", "occupancy"):
+            spec = LeakageCellSpec(
+                channel=channel,
+                scheme=scheme,
+                window=window,
+                trials=150,
+                seed=7,
+                curve_repeats=20,
+            )
+            cells.append(spec.run().to_json())
+    return cells
+
+
+def timing_golden():
+    from repro.runner.cells import CellSpec, run_cell
+
+    cells = []
+    for scheme, window in TIMING_POINTS:
+        spec = CellSpec(
+            kind="general",
+            scheme=scheme,
+            benchmark="astar",
+            window=window,
+            n_refs=6000,
+            seed=7,
+        )
+        result = run_cell(spec)
+        payload = {
+            "scheme": scheme,
+            "window": list(window) if window else None,
+            **dataclasses.asdict(result),
+        }
+        cells.append(payload)
+    return cells
+
+
+def main():
+    golden = {
+        "comment": "pre-registry golden results; see _generate_golden.py",
+        "leakage": leakage_golden(),
+        "timing": timing_golden(),
+    }
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

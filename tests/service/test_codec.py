@@ -22,7 +22,7 @@ from repro.service.codec import (
 CELL_SPECS = [
     CellSpec(kind="general", benchmark="astar", window=(4, 3), n_refs=2000),
     CellSpec(kind="general", benchmark="bzip2", window=None, warm=False),
-    CellSpec(kind="crypto", scheme="plcache", window=None, message_kb=8,
+    CellSpec(kind="crypto", scheme="plcache_preload", window=None, message_kb=8,
              seed=7),
     CellSpec(kind="concurrent", scheme="random_fill", benchmark="sjeng",
              window=(16, 15), aes_kb=2),
