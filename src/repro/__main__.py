@@ -29,6 +29,12 @@ supervised runner behind a bounded work queue with per-client rate
 limits, shares one content-addressed result store across all sweeps,
 and streams per-sweep JSONL telemetry from ``GET /sweeps/{id}/events``
 (``--port/--jobs/--queue-depth/--max-cells-per-request/--rate``).
+The service is crash-safe: accepted sweeps are journaled under the
+spool directory (``--spool``), a restart replays the journal and
+resumes interrupted work from the result-cache checkpoints, and
+SIGTERM/SIGINT drain gracefully — the running sweep finishes, queued
+sweeps survive to the next process (``--no-recover`` opts out;
+``--port-file`` publishes the bound port for supervisors).
 
 ``--check[=RATE]`` on both sweeps turns on checked simulation mode
 (:mod:`repro.check`): every cell runs under the invariant sanitizer
@@ -436,7 +442,9 @@ def serve_cmd(args: argparse.Namespace) -> None:
             queue_depth=args.queue_depth,
             max_cells_per_request=args.max_cells_per_request,
             rate=args.rate, burst=args.burst,
-            spool_dir=args.spool or None)
+            spool_dir=args.spool or None,
+            port_file=args.port_file or None,
+            recover=not args.no_recover)
         run_server(config)
     except (ValueError, OSError) as error:
         sys.exit(f"error: {error}")
@@ -595,8 +603,17 @@ def build_parser() -> argparse.ArgumentParser:
     vp.add_argument("--burst", type=float, default=20.0,
                     help="per-client submission burst capacity (default 20)")
     vp.add_argument("--spool", default="",
-                    help="directory for per-sweep telemetry JSONL files "
-                    "(default: a fresh temp directory)")
+                    help="directory for per-sweep telemetry JSONL files and "
+                    "the durable sweep journal; reuse it across restarts to "
+                    "recover interrupted sweeps (default: a fresh temp "
+                    "directory)")
+    vp.add_argument("--port-file", default="",
+                    help="write the bound port to this file once listening "
+                    "(atomic; handshake for supervisors and the chaos "
+                    "harness)")
+    vp.add_argument("--no-recover", action="store_true",
+                    help="skip replaying the sweep journal on boot (fresh "
+                    "start even over a dirty spool)")
     cp = sub.add_parser(
         "cache", help="inspect or clear the on-disk trace/result caches")
     group = cp.add_mutually_exclusive_group()

@@ -23,6 +23,14 @@ handle moves to ``cancelling`` and settles as ``cancelled`` when the
 run returns, with its results discarded.  Cells the run checkpointed
 into the result cache before the cancel stay checkpointed (a re-submit
 resumes from them), exactly like an interrupted CLI sweep.
+
+Graceful drain (the service's SIGTERM path) is a third lifecycle verb:
+:meth:`JobRunner.drain` stops the executor from *starting* anything
+new — the running job finishes normally, queued jobs stay queued (not
+cancelled: their journal records keep them recoverable by the next
+process) — and :meth:`JobRunner.wait_idle` blocks until the executor
+has parked.  ``shutdown(cancel_queued=False)`` afterwards leaves the
+queued handles untouched.
 """
 
 from __future__ import annotations
@@ -169,6 +177,7 @@ class JobRunner:
         self._wake = threading.Condition(self._lock)
         self._thread: Optional[threading.Thread] = None
         self._shutdown = False
+        self._draining = False
         self._running: Optional[JobHandle] = None
 
     # -- introspection (metrics) ---------------------------------------------
@@ -207,6 +216,8 @@ class JobRunner:
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("JobRunner is shut down")
+            if self._draining:
+                raise RuntimeError("JobRunner is draining")
             if len(self._queue) >= self.queue_depth:
                 raise JobQueueFull(f"work queue is full ({self.queue_depth} sweeps waiting)")
             self._queue.append(handle)
@@ -223,8 +234,13 @@ class JobRunner:
     def _drain(self) -> None:
         while True:
             with self._lock:
-                while not self._queue and not self._shutdown:
+                while not self._queue and not self._shutdown and not self._draining:
                     self._wake.wait()
+                if self._draining:
+                    # Park without touching the queue: queued handles
+                    # stay queued (their journal records make them the
+                    # next process's work, not this one's casualties).
+                    return
                 if self._shutdown and not self._queue:
                     return
                 handle = self._queue.popleft()
@@ -263,6 +279,27 @@ class JobRunner:
         handle._settled.set()
 
     # -- lifecycle -----------------------------------------------------------
+
+    def drain(self) -> List[JobHandle]:
+        """Stop *starting* work: the running job finishes normally, the
+        queued handles are left queued and returned (still ``queued``
+        state — they are the next process's inheritance, not cancelled
+        casualties).  ``submit`` refuses new work from here on."""
+        with self._lock:
+            self._draining = True
+            queued = list(self._queue)
+            self._wake.notify_all()
+        return queued
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until the executor thread has parked after
+        :meth:`drain` (or :meth:`shutdown`); ``True`` once it has."""
+        with self._lock:
+            thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
 
     def shutdown(self, wait: bool = True, cancel_queued: bool = True) -> None:
         """Stop accepting work; optionally cancel what is still queued

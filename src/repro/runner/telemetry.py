@@ -50,11 +50,32 @@ the same log file:
   count, client id;
 * ``sweep_rejected`` — a submission was refused (service-level log):
   the reason (``rate_limited``, ``queue_full``, ``invalid_spec``,
-  ``too_many_cells``) and the client id;
+  ``too_many_cells``, ``draining``) and the client id;
 * ``sweep_start``   — the sweep left the work queue, carrying
   ``queue_wait_s`` (seconds spent queued behind earlier sweeps);
+* ``sweep_resumed`` — restart recovery re-admitted this sweep from the
+  durable journal: its prior state (``queued``/``running``), cell
+  count, and how many cells were already warm in the result cache;
 * ``sweep_finish``  — terminal state (``done``/``failed``/
   ``cancelled``) plus the run's stats payload.
+
+Service-lifecycle events land in the service-wide ``service.jsonl``:
+
+* ``service_recovered``    — boot replayed the sweep journal:
+  recovered sweep count, cells resubmitted vs. served warm;
+* ``journal_corrupt_tail`` — replay dropped a torn/corrupt trailing
+  journal line (and kept going);
+* ``service_draining``     — SIGTERM/SIGINT flipped the service into
+  draining mode (new submissions get 503);
+* ``service_drained``      — the running sweep finished and the
+  journal was checkpointed; queued sweeps are preserved for the next
+  process.
+
+When ``REPRO_CHAOS`` is set, every ``emit`` first passes through the
+fault-injection hook (:mod:`repro.service.chaos`) — process kills,
+slow or failing spool writes — which is how the chaos tests drive the
+recovery machinery deterministically; with the variable unset the hook
+costs one dict lookup.
 
 The CLI surfaces this as ``--telemetry PATH`` on the ``sweep`` and
 ``leakage`` subcommands; CI uploads the leakage smoke log as an
@@ -74,6 +95,9 @@ try:
     import resource
 except ImportError:  # non-POSIX platform
     resource = None
+
+#: fault-injection opt-in (see :mod:`repro.service.chaos`)
+ENV_CHAOS = "REPRO_CHAOS"
 
 
 def rss_kb() -> Optional[int]:
@@ -125,6 +149,13 @@ class Telemetry:
             return
         record = {"event": event, "t": round(time.time(), 6), **fields}
         try:
+            if ENV_CHAOS in os.environ:
+                # Fault injection (slow/failing spool writes, process
+                # kill mid-sweep) for the chaos tests; the injected
+                # OSError is swallowed below exactly like a disk error.
+                from repro.service.chaos import chaos_telemetry_event
+
+                chaos_telemetry_event(event)
             if self._fh is None:
                 directory = os.path.dirname(os.path.abspath(self.path))
                 os.makedirs(directory, exist_ok=True)

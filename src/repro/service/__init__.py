@@ -6,6 +6,14 @@ supervised pool + batch planner, shares one content-addressed result
 store across every sweep (warm cells are served at cache speed without
 touching the pool), and streams each sweep's JSONL telemetry live.
 
+The service is crash-safe: every accepted sweep is journaled to a
+write-ahead log under the spool directory before it is queued, a
+restarted process replays the journal (finished cells come back warm
+from the result-cache checkpoints), and SIGTERM drains gracefully —
+the running sweep finishes, queued sweeps survive to the next process.
+The ``REPRO_CHAOS`` harness (:mod:`repro.service.chaos`) fault-injects
+every one of those paths for the e2e chaos tests.
+
 * :mod:`repro.service.codec` — versioned JSON (de)serialization of
   ``CellSpec`` / ``LeakageCellSpec`` grids; round-trip-exact, so an
   HTTP-submitted spec hits the same cache key as a local one,
@@ -16,6 +24,11 @@ touching the pool), and streams each sweep's JSONL telemetry live.
   metrics,
 * :mod:`repro.service.ratelimit` — per-client token buckets + usage
   accounting,
+* :mod:`repro.service.journal` — the durable sweep journal (JSONL
+  WAL): append, torn-write-tolerant replay, checkpoint compaction,
+* :mod:`repro.service.chaos` — ``REPRO_CHAOS`` fault injection
+  (process kills mid-sweep, torn journal writes, slow/failing spool
+  I/O, dropped event streams),
 * :mod:`repro.service.http` — minimal stdlib-asyncio HTTP/1.1
   plumbing (no framework dependency),
 * :mod:`repro.service.app` — the endpoints and server lifecycle
@@ -28,7 +41,16 @@ touching the pool), and streams each sweep's JSONL telemetry live.
 """
 
 from repro.service.app import ServerHandle, run_server, serve_in_thread
+from repro.service.chaos import ChaosConfig, ChaosConfigError, parse_chaos
 from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.journal import (
+    JOURNAL_VERSION,
+    JournalError,
+    SweepJournal,
+    decode_record,
+    encode_record,
+    journal_path,
+)
 from repro.service.codec import (
     CODEC_VERSION,
     SpecValidationError,
@@ -49,8 +71,12 @@ from repro.service.sweeps import (
 
 __all__ = [
     "CODEC_VERSION",
+    "ChaosConfig",
+    "ChaosConfigError",
     "ClientQuotas",
     "DiskResultStore",
+    "JOURNAL_VERSION",
+    "JournalError",
     "ResultStore",
     "ServerHandle",
     "ServiceClient",
@@ -59,13 +85,18 @@ __all__ = [
     "ServiceError",
     "SpecValidationError",
     "Sweep",
+    "SweepJournal",
     "SweepService",
     "TokenBucket",
+    "decode_record",
     "decode_spec",
     "decode_sweep",
+    "encode_record",
     "encode_result",
     "encode_spec",
     "encode_sweep",
+    "journal_path",
+    "parse_chaos",
     "run_server",
     "serve_in_thread",
 ]

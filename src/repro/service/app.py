@@ -28,19 +28,29 @@ JSONL file with the partial-line-tolerant incremental reader.
 ``serve_in_thread`` boots the same server on a background thread and
 returns a handle with the bound port — the tests and the CI smoke
 client drive a real server through real sockets that way.
+
+Shutdown is a graceful drain: SIGTERM or the first SIGINT flips the
+service into draining mode (submissions get 503 ``draining``, reads
+and ``/healthz`` keep answering), the running sweep finishes, the
+sweep journal is checkpointed with the still-queued sweeps preserved
+for the next process, and only then does the loop exit.  A second
+signal hard-exits immediately.  ``ServerHandle.drain()`` triggers the
+same path programmatically for tests.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
+import signal
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
 
-from repro.runner.telemetry import read_events_incremental
+from repro.runner.telemetry import ENV_CHAOS, read_events_incremental
 from repro.service.http import (
     ChunkWriter,
     HttpError,
@@ -124,6 +134,7 @@ class ServiceApp:
         chunks = ChunkWriter(writer)
         await chunks.start()
         deadline = time.monotonic() + _EVENT_FOLLOW_TIMEOUT_S
+        sent = 0
         while True:
             # Read the settled flag BEFORE reading the file: once the
             # job has settled, its terminal sweep_finish row is on
@@ -134,6 +145,20 @@ class ServiceApp:
             events, offset = read_events_incremental(sweep.events_path, offset)
             if events:
                 await chunks.send(b"".join(json_line(e) for e in events))
+                sent += len(events)
+                if ENV_CHAOS in os.environ:
+                    from repro.service.chaos import chaos_stream_should_drop
+
+                    if chaos_stream_should_drop(sent):
+                        # Close without the terminating chunk: the
+                        # client sees the delivered events followed by
+                        # a dead connection (IncompleteRead), exactly
+                        # like a mid-stream network drop.  (A FIN, not
+                        # an RST — an abort could discard bytes the
+                        # client has not read yet, making the drop
+                        # nondeterministic.)
+                        writer.close()
+                        return
                 continue
             if not follow or finished or time.monotonic() > deadline:
                 break
@@ -179,6 +204,16 @@ class ServiceApp:
 # -- server lifecycle ---------------------------------------------------------
 
 
+def _write_port_file(path: str, port: int) -> None:
+    """Atomically publish the bound port (the chaos harness handshake)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(f"{port}\n")
+    os.replace(tmp, path)
+
+
 async def _serve(
     config: ServiceConfig,
     service: SweepService,
@@ -189,9 +224,32 @@ async def _serve(
     app = ServiceApp(service)
     server = await asyncio.start_server(app.handle_connection, host=config.host, port=config.port)
     port = server.sockets[0].getsockname()[1]
+    if config.port_file:
+        _write_port_file(config.port_file, port)
     if handle is not None:
         handle.host = config.host
         handle.port = port
+
+    loop = asyncio.get_running_loop()
+    drain_requested = asyncio.Event()
+    signals_seen = 0
+
+    def request_drain() -> None:
+        nonlocal signals_seen
+        signals_seen += 1
+        if signals_seen > 1:
+            os._exit(130)  # second signal: the operator means NOW
+        drain_requested.set()
+
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, request_drain)
+            installed.append(signum)
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass  # non-main thread or platform without loop signals
+    if handle is not None:
+        handle._drain_event = drain_requested
     if announce:
         print(f"repro.service listening on http://{config.host}:{port}")
         print(
@@ -208,16 +266,34 @@ async def _serve(
         )
     if bound is not None:
         bound.set()
-    async with server:
-        await server.serve_forever()
+    try:
+        async with server:
+            await drain_requested.wait()
+            # Drain: refuse new submissions (503) but keep answering
+            # reads and /healthz while the running sweep finishes, then
+            # checkpoint the journal and let the server close.
+            if announce:
+                print("\ndraining: finishing the running sweep, journaling the queue", flush=True)
+            service.begin_drain()
+            await loop.run_in_executor(None, service.finish_drain)
+            if announce:
+                print("drained: queued sweeps preserved in the journal", flush=True)
+    finally:
+        for signum in installed:
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass
 
 
 def run_server(config: ServiceConfig, service: Optional[SweepService] = None) -> None:
-    """Run the service in the foreground until interrupted."""
+    """Run the service in the foreground; SIGTERM/SIGINT drain it."""
     service = service if service is not None else SweepService(config)
     try:
         asyncio.run(_serve(config, service, announce=True))
     except KeyboardInterrupt:
+        # Loop-signal handlers unavailable (e.g. Windows): degrade to
+        # the old hard stop.
         print("\nshutting down (waiting for the running sweep)")
     finally:
         service.shutdown(wait=False)
@@ -232,14 +308,29 @@ class ServerHandle:
     port: int = 0
     _thread: Optional[threading.Thread] = None
     _loop: Optional[asyncio.AbstractEventLoop] = None
+    _drain_event: Optional[asyncio.Event] = None
 
     @property
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    def drain(self, timeout: float = 60.0) -> None:
+        """Trigger the graceful-drain path (what SIGTERM does in the
+        foreground server) and wait for the server thread to exit."""
+        if self._loop is not None and self._drain_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._drain_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
     def stop(self) -> None:
         if self._loop is not None:
-            self._loop.call_soon_threadsafe(self._loop.stop)
+            try:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                pass
         if self._thread is not None:
             self._thread.join(timeout=10)
         self.service.shutdown(wait=False)
@@ -259,7 +350,10 @@ def serve_in_thread(config: ServiceConfig, service: Optional[SweepService] = Non
         loop = asyncio.new_event_loop()
         handle._loop = loop
         asyncio.set_event_loop(loop)
-        loop.create_task(_serve(config, service, bound=bound, handle=handle))
+        task = loop.create_task(_serve(config, service, bound=bound, handle=handle))
+        # When _serve returns (a drain completed), park the loop so the
+        # thread exits and ServerHandle.drain()'s join comes back.
+        task.add_done_callback(lambda _t: loop.stop())
         try:
             loop.run_forever()
         finally:

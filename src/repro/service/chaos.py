@@ -1,0 +1,207 @@
+"""Fault injection for the sweep service: the ``REPRO_CHAOS`` harness.
+
+Production failure modes are hard to hit on demand — a deploy SIGKILLs
+the service mid-sweep, a journal append tears at a power loss, the
+spool disk stalls or errors, a client's connection drops mid-stream.
+This module makes each of them reproducible from one environment
+variable so the e2e chaos tests (and the CI ``chaos-smoke`` job) drive
+the *real* recovery code, not a simulation of it.
+
+``REPRO_CHAOS`` is a comma-separated list of ``mode`` or ``mode=value``
+entries:
+
+==========================  ==================================================
+``kill_after_cells=N``      SIGKILL this process the moment the N-th
+                            ``cell_finish`` telemetry event is emitted —
+                            i.e. deterministically *mid-sweep* for any grid
+                            with more than N cells (hook:
+                            :func:`chaos_telemetry_event`)
+``torn_journal=N``          after N-1 more clean appends, write only half of
+                            the next journal record's bytes and SIGKILL —
+                            a real torn write, not a truncated file made up
+                            after the fact (hook: :func:`chaos_journal_write`)
+``slow_spool_ms=M``         sleep M milliseconds before every spool telemetry
+                            write (hook: :func:`chaos_telemetry_event`)
+``fail_spool_every=N``      raise ``OSError`` from every N-th spool telemetry
+                            write; :class:`~repro.runner.telemetry.Telemetry`
+                            treats telemetry as advisory and must survive
+``drop_stream_after=N``     abort each ``/events`` connection after N events
+                            have been streamed (hook:
+                            :func:`chaos_stream_should_drop`)
+==========================  ==================================================
+
+Every hook is a near-free no-op when ``REPRO_CHAOS`` is unset (one
+``os.environ`` lookup).  The parsed config is cached per variable
+value, so tests can flip modes with ``monkeypatch.setenv`` without any
+reset call.  A malformed value raises :class:`ChaosConfigError` naming
+the variable on first use — chaos that silently doesn't run is worse
+than no chaos.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+ENV_VAR = "REPRO_CHAOS"
+
+_INT_MODES = frozenset(
+    {"kill_after_cells", "torn_journal", "fail_spool_every", "drop_stream_after"}
+)
+
+
+class ChaosConfigError(ValueError):
+    """``REPRO_CHAOS`` could not be parsed."""
+
+
+class ChaosInjectedError(OSError):
+    """The error a chaos-failed spool write raises (an ``OSError`` so
+    the advisory telemetry path swallows it exactly like a real disk
+    error)."""
+
+
+@dataclass
+class ChaosConfig:
+    """Parsed ``REPRO_CHAOS`` modes (``None``/0 = mode off)."""
+
+    kill_after_cells: Optional[int] = None
+    torn_journal: Optional[int] = None
+    slow_spool_ms: float = 0.0
+    fail_spool_every: int = 0
+    drop_stream_after: Optional[int] = None
+
+
+def parse_chaos(value: str) -> ChaosConfig:
+    """Parse one ``REPRO_CHAOS`` value; raises :class:`ChaosConfigError`."""
+    config = ChaosConfig()
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        mode, _, raw = entry.partition("=")
+        mode = mode.strip()
+        raw = raw.strip()
+        if mode in _INT_MODES:
+            try:
+                number = int(raw) if raw else 1
+            except ValueError:
+                raise ChaosConfigError(
+                    f"{ENV_VAR}: {mode} needs an integer, got {raw!r}"
+                ) from None
+            if number < 1:
+                raise ChaosConfigError(f"{ENV_VAR}: {mode} must be >= 1, got {number}")
+            setattr(config, mode, number)
+        elif mode == "slow_spool_ms":
+            try:
+                config.slow_spool_ms = float(raw)
+            except ValueError:
+                raise ChaosConfigError(
+                    f"{ENV_VAR}: slow_spool_ms needs a number, got {raw!r}"
+                ) from None
+        else:
+            raise ChaosConfigError(f"{ENV_VAR}: unknown chaos mode {mode!r}")
+    return config
+
+
+#: (env value, parsed config) cache — one parse per distinct value
+_cached: Tuple[Optional[str], Optional[ChaosConfig]] = (None, None)
+_counter_lock = threading.Lock()
+_cell_finishes = 0
+_spool_writes = 0
+_journal_appends = 0
+
+
+def chaos_config() -> Optional[ChaosConfig]:
+    """The active chaos config, ``None`` when ``REPRO_CHAOS`` is unset."""
+    global _cached
+    value = os.environ.get(ENV_VAR)
+    if not value:
+        return None
+    cached_value, cached_config = _cached
+    if value != cached_value:
+        cached_config = parse_chaos(value)
+        _cached = (value, cached_config)
+    return cached_config
+
+
+def reset_chaos_counters() -> None:
+    """Zero the injection counters (test isolation)."""
+    global _cell_finishes, _spool_writes, _journal_appends
+    with _counter_lock:
+        _cell_finishes = 0
+        _spool_writes = 0
+        _journal_appends = 0
+
+
+def _sigkill_self() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+# -- hooks --------------------------------------------------------------------
+
+
+def chaos_telemetry_event(event: str) -> None:
+    """Called by :meth:`Telemetry.emit` for every event when chaos is on.
+
+    Applies ``slow_spool_ms`` and ``fail_spool_every`` to the write
+    about to happen, and ``kill_after_cells`` to ``cell_finish``
+    events.  The kill fires *after* the supervisor has checkpointed the
+    finished cell into the result cache (``on_result`` stores before it
+    emits), so recovery legitimately finds N warm cells.
+    """
+    config = chaos_config()
+    if config is None:
+        return
+    global _cell_finishes, _spool_writes
+    if config.slow_spool_ms > 0:
+        time.sleep(config.slow_spool_ms / 1000.0)
+    if config.kill_after_cells is not None and event == "cell_finish":
+        with _counter_lock:
+            _cell_finishes += 1
+            kill = _cell_finishes >= config.kill_after_cells
+        if kill:
+            _sigkill_self()
+    if config.fail_spool_every:
+        with _counter_lock:
+            _spool_writes += 1
+            fail = _spool_writes % config.fail_spool_every == 0
+        if fail:
+            raise ChaosInjectedError("chaos: injected spool write failure")
+
+
+def chaos_journal_write(data: bytes) -> bytes:
+    """Called by the journal with the bytes it is about to append.
+
+    Under ``torn_journal=N``, the N-th append from now returns only the
+    first half of the record (no newline) and schedules an immediate
+    SIGKILL — the on-disk result is byte-for-byte what a crash mid-
+    ``write`` leaves behind.  The kill happens *after* the torn bytes
+    hit the file (the caller writes, then we die on the next hook call
+    path), so the tear is ordered before process death.
+    """
+    config = chaos_config()
+    if config is None or config.torn_journal is None:
+        return data
+    global _journal_appends
+    with _counter_lock:
+        _journal_appends += 1
+        tear = _journal_appends >= config.torn_journal
+    if not tear:
+        return data
+    # Return the torn prefix; the journal writes + fsyncs it, then the
+    # deferred killer thread takes the process down before any further
+    # append can complete.
+    threading.Timer(0.05, _sigkill_self).start()
+    return data[: max(1, len(data) // 2)]
+
+
+def chaos_stream_should_drop(events_sent: int) -> bool:
+    """True when an ``/events`` stream should abort its connection."""
+    config = chaos_config()
+    if config is None or config.drop_stream_after is None:
+        return False
+    return events_sent >= config.drop_stream_after

@@ -9,19 +9,41 @@ Error responses raise :class:`ServiceClientError` carrying the HTTP
 status and the server's structured ``{"error": ...}`` payload, so a
 test can assert ``error.code == "rate_limited"`` instead of string-
 matching a body.
+
+The client retries transient failures with capped exponential backoff
+plus jitter (``retries=0`` opts out):
+
+* 429/503 responses are retried for *any* method — the server refused
+  the work, so nothing was done twice — and a ``retry_after_s`` hint
+  in the error payload overrides the computed backoff;
+* dropped connections are retried only for idempotent GETs (a POST
+  might have been applied before the line died);
+* :meth:`stream_events` resumes a dropped event stream from the exact
+  byte offset it had reached (the ``?from=`` parameter), so every
+  event is still delivered exactly once, in order.
+
+The backoff's randomness and sleeping are injectable (``rng``,
+``sleep``) so the retry tests are deterministic and instant.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.service.codec import encode_sweep
 
 #: states that end a sweep's lifecycle
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: statuses safe to retry regardless of method (the request was refused)
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+#: what a dropped/reset connection surfaces as from ``http.client``
+CONNECTION_ERRORS = (ConnectionError, http.client.HTTPException, TimeoutError, OSError)
 
 
 class ServiceClientError(Exception):
@@ -34,9 +56,23 @@ class ServiceClientError(Exception):
         self.code = error.get("code", "unknown")
         super().__init__(f"HTTP {status} {self.code}: {error.get('message', payload)}")
 
+    def retry_after_s(self) -> Optional[float]:
+        """The server's ``retry_after_s`` hint, if the payload has one."""
+        value = self.payload.get("error", {}).get("retry_after_s")
+        try:
+            return max(0.0, float(value)) if value is not None else None
+        except (TypeError, ValueError):
+            return None
+
 
 class ServiceClient:
-    """Talk to one service instance at ``host:port``."""
+    """Talk to one service instance at ``host:port``.
+
+    ``retries`` is the number of *additional* attempts after the first
+    (default 2); ``backoff_s`` the base delay, doubled per attempt and
+    capped at ``backoff_cap_s``, with multiplicative jitter in
+    [0.5, 1.5).  ``retries=0`` restores fail-fast behaviour.
+    """
 
     def __init__(
         self,
@@ -44,11 +80,21 @@ class ServiceClient:
         port: int,
         client_id: Optional[str] = None,
         timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.1,
+        backoff_cap_s: float = 5.0,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.rng = rng if rng is not None else random.Random()
+        self.sleep = sleep
 
     # -- plumbing ------------------------------------------------------------
 
@@ -58,7 +104,7 @@ class ServiceClient:
             headers["X-Repro-Client"] = self.client_id
         return headers
 
-    def _request(self, method: str, path: str, body: Optional[Any] = None) -> Any:
+    def _request_once(self, method: str, path: str, body: Optional[Any] = None) -> Any:
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             headers = self._headers()
@@ -75,6 +121,32 @@ class ServiceClient:
             return decoded
         finally:
             connection.close()
+
+    def _backoff(self, attempt: int, hint: Optional[float] = None) -> float:
+        """Delay before retry ``attempt`` (0-based): the server's hint
+        when given, else capped exponential backoff with jitter."""
+        if hint is not None:
+            return hint
+        base = min(self.backoff_cap_s, self.backoff_s * (2.0**attempt))
+        return base * (0.5 + self.rng.random())
+
+    def _request(self, method: str, path: str, body: Optional[Any] = None) -> Any:
+        for attempt in range(self.retries + 1):
+            last = attempt == self.retries
+            try:
+                return self._request_once(method, path, body)
+            except ServiceClientError as error:
+                if last or error.status not in RETRYABLE_STATUSES:
+                    raise
+                self.sleep(self._backoff(attempt, hint=error.retry_after_s()))
+            except CONNECTION_ERRORS:
+                # Only idempotent reads are safe to replay blind: a
+                # submission might have been accepted before the
+                # connection died.
+                if last or method != "GET":
+                    raise
+                self.sleep(self._backoff(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- API -----------------------------------------------------------------
 
@@ -129,8 +201,33 @@ class ServiceClient:
 
         Holds one connection open for the duration (the server chunks
         the sweep's JSONL file and follows it until the sweep
-        finishes).
+        finishes).  When the connection drops mid-stream and retries
+        are enabled, the stream resumes from the byte offset it had
+        reached — the chunked payload *is* the JSONL file, so the
+        offset advances by exactly the raw bytes of each line consumed
+        and no event is duplicated or lost across resumes.
         """
+        offset = from_offset
+        attempt = 0
+        while True:
+            progressed = False
+            try:
+                for raw_size, event in self._stream_once(sweep_id, follow, offset):
+                    offset += raw_size
+                    progressed = True
+                    yield event
+                return
+            except CONNECTION_ERRORS:
+                # Progress resets the retry budget: a long stream may
+                # legitimately drop many times over its lifetime.
+                if progressed:
+                    attempt = 0
+                if attempt >= self.retries:
+                    raise
+                self.sleep(self._backoff(attempt))
+                attempt += 1
+
+    def _stream_once(self, sweep_id: str, follow: bool, from_offset: int):
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             path = f"/sweeps/{sweep_id}/events?follow={1 if follow else 0}&from={from_offset}"
@@ -138,13 +235,24 @@ class ServiceClient:
             response = connection.getresponse()
             if response.status >= 400:
                 raise ServiceClientError(response.status, json.loads(response.read() or b"{}"))
+            # Assemble lines from read1() rather than readline():
+            # HTTPResponse.readline() peeks, and the chunked peek path
+            # swallows IncompleteRead — a connection dropped mid-stream
+            # would masquerade as a clean EOF and silently truncate the
+            # event stream.  read1() raises, so the resume loop sees it.
+            buffer = b""
             while True:
-                line = response.readline()
-                if not line:
-                    return
-                line = line.strip()
-                if not line:
-                    continue
-                yield json.loads(line.decode("utf-8"))
+                data = response.read1(65536)
+                if not data:
+                    return  # the terminating 0-chunk: a genuine end
+                buffer += data
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        break
+                    raw, buffer = buffer[: newline + 1], buffer[newline + 1 :]
+                    line = raw.strip()
+                    if line:
+                        yield len(raw), json.loads(line.decode("utf-8"))
         finally:
             connection.close()

@@ -1,0 +1,322 @@
+"""Durable sweep journal: a JSONL write-ahead log for the service.
+
+The in-memory sweep registry of :class:`~repro.service.sweeps.SweepService`
+dies with the process; this module is what makes it reconstructible.
+Every state transition of every accepted sweep is appended to one JSONL
+file under the spool directory (``journal.jsonl``) *before* the
+transition takes effect, classic WAL style:
+
+* ``submitted`` — the full encoded grid (the versioned codec payload),
+  the client id and the cell count.  Written before the sweep is
+  queued, so a crash between the journal append and the queue insert
+  re-admits the sweep on restart (at-least-once admission — re-running
+  a sweep is harmless because cells are pure and checkpointed);
+* ``started``   — the sweep left the work queue and ``run_cells``
+  began;
+* ``finished``  — terminal state (``done`` / ``failed`` /
+  ``cancelled``) from the job observer;
+* ``cancelled`` — a compensating record: the sweep was refused after
+  its ``submitted`` record landed (full queue), or cancelled while
+  still queued.
+
+Records are versioned (:data:`JOURNAL_VERSION`); replay skips records
+it cannot understand rather than poisoning recovery.  Appends are a
+single ``write`` of one complete line followed by ``flush`` +
+``fsync``, so the only torn state a crash can leave is a partial final
+line — and :meth:`SweepJournal.replay` tolerates exactly that: an
+unterminated or corrupt trailing line is dropped and *reported*
+(``corrupt_tail``), never fatal.  Mid-file corruption (bit rot) is
+likewise skipped and counted.
+
+:meth:`SweepJournal.checkpoint` compacts the log: it rewrites the file
+(atomic tmp + rename) keeping only the records of *live* sweeps —
+submitted or started but not yet terminal — which is what graceful
+drain runs right before exit so queued sweeps survive to the next
+process with zero loss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.service.chaos import chaos_journal_write
+
+#: bump when the record wire shape changes; replay skips unknown versions
+JOURNAL_VERSION = 1
+
+#: record types replay understands
+RECORD_TYPES = frozenset({"submitted", "started", "finished", "cancelled"})
+
+#: terminal ``finished`` states (mirrors the job-handle lifecycle)
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: finished/cancelled chains tolerated before an append auto-compacts
+COMPACT_THRESHOLD = 256
+
+
+class JournalError(ValueError):
+    """A single record failed to encode or decode."""
+
+
+def encode_record(record: Dict[str, Any]) -> str:
+    """One journal record as its JSONL line (no trailing newline).
+
+    The record must carry ``record`` (type) and ``sweep`` (id); the
+    version stamp is added here.  Raises :class:`JournalError` on an
+    unknown record type or an unencodable payload.
+    """
+    kind = record.get("record")
+    if kind not in RECORD_TYPES:
+        raise JournalError(f"unknown journal record type {kind!r}")
+    if not record.get("sweep"):
+        raise JournalError("journal record needs a non-empty 'sweep' id")
+    payload = {"v": JOURNAL_VERSION, **record}
+    try:
+        return json.dumps(payload, sort_keys=True)
+    except (TypeError, ValueError) as error:
+        raise JournalError(f"unencodable journal record: {error}") from None
+
+
+def decode_record(line: str) -> Dict[str, Any]:
+    """Parse one JSONL line back into a record dict (validated).
+
+    Raises :class:`JournalError` for anything replay must skip: corrupt
+    JSON, a non-object line, a missing/unknown version, an unknown
+    record type, or a missing sweep id.
+    """
+    try:
+        payload = json.loads(line)
+    except ValueError as error:
+        raise JournalError(f"corrupt journal line: {error}") from None
+    if not isinstance(payload, dict):
+        raise JournalError(f"journal line is not an object: {payload!r}")
+    if payload.get("v") != JOURNAL_VERSION:
+        raise JournalError(f"unknown journal record version {payload.get('v')!r}")
+    if payload.get("record") not in RECORD_TYPES:
+        raise JournalError(f"unknown journal record type {payload.get('record')!r}")
+    if not payload.get("sweep"):
+        raise JournalError("journal record has no sweep id")
+    record = dict(payload)
+    record.pop("v")
+    return record
+
+
+@dataclass
+class JournalSweep:
+    """Replayed state of one sweep still owed work."""
+
+    sweep_id: str
+    state: str  # "queued" (submitted only) or "running" (started seen)
+    client: str = "unknown"
+    cells: int = 0
+    payload: Any = None  # the encoded codec grid from the submitted record
+    submitted_t: float = 0.0
+
+
+@dataclass
+class JournalReplay:
+    """Everything :meth:`SweepJournal.replay` reconstructs."""
+
+    live: List[JournalSweep] = field(default_factory=list)
+    finished: int = 0  # terminal sweeps seen (their chains are droppable)
+    records: int = 0  # well-formed records consumed
+    dropped: int = 0  # corrupt/unknown complete lines skipped mid-file
+    corrupt_tail: bool = False  # unterminated or corrupt final line dropped
+
+
+class SweepJournal:
+    """Append + replay + compact one ``journal.jsonl``; thread-safe.
+
+    Appends come from the asyncio submission path and from the job
+    runner's observer thread concurrently; one lock serializes them
+    against each other and against :meth:`checkpoint`'s rewrite.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._terminal_since_compact = 0
+        self.appends = 0
+        self.compactions = 0
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record_type: str, sweep_id: str, **fields: Any) -> None:
+        """Durably append one record (write + flush + fsync).
+
+        Raises :class:`JournalError` on an unencodable record and
+        ``OSError`` when the spool cannot be written — the caller
+        decides whether that is fatal (submission) or advisory.
+        """
+        line = encode_record({"record": record_type, "sweep": sweep_id, "t": time.time(), **fields})
+        data = (line + "\n").encode("utf-8")
+        with self._lock:
+            self._write(data)
+            self.appends += 1
+            if record_type in ("finished", "cancelled"):
+                self._terminal_since_compact += 1
+        # Opportunistic compaction keeps the journal bounded by the
+        # *live* sweep count rather than the service's whole history.
+        if self._terminal_since_compact >= COMPACT_THRESHOLD:
+            self.checkpoint()
+
+    def _write(self, data: bytes) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        # chaos_journal_write tears the payload (and kills the process)
+        # under REPRO_CHAOS=torn_journal — a no-op otherwise.
+        data = chaos_journal_write(data)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self) -> JournalReplay:
+        """Reconstruct the registry state from disk.
+
+        Never raises on content: a missing file is an empty replay,
+        a torn trailing line sets ``corrupt_tail``, corrupt or
+        unknown-version complete lines count into ``dropped``.
+        """
+        replay = JournalReplay()
+        try:
+            with open(self.path, "rb") as fh:
+                data = fh.read()
+        except OSError:
+            return replay
+        if not data:
+            return replay
+        terminated = data.endswith(b"\n")
+        lines = data.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        sweeps: Dict[str, JournalSweep] = {}
+        order: List[str] = []
+        terminal: Dict[str, bool] = {}
+        for i, raw in enumerate(lines):
+            last = i == len(lines) - 1
+            if last and not terminated:
+                # An unterminated final line is a torn write by
+                # definition (appends always end in a newline) — even
+                # if its bytes happen to parse.
+                replay.corrupt_tail = True
+                continue
+            try:
+                record = decode_record(raw.decode("utf-8"))
+            except (JournalError, UnicodeDecodeError):
+                # A *terminated* line that fails to decode is bit rot
+                # or version skew, wherever it sits; only the
+                # unterminated final line (handled above) is a tear.
+                replay.dropped += 1
+                continue
+            replay.records += 1
+            sweep_id = record["sweep"]
+            kind = record["record"]
+            if kind == "submitted":
+                if sweep_id not in sweeps:
+                    order.append(sweep_id)
+                sweeps[sweep_id] = JournalSweep(
+                    sweep_id=sweep_id,
+                    state="queued",
+                    client=record.get("client", "unknown"),
+                    cells=int(record.get("cells", 0) or 0),
+                    payload=record.get("payload"),
+                    submitted_t=float(record.get("t", 0.0) or 0.0),
+                )
+                terminal[sweep_id] = False
+            elif kind == "started":
+                if sweep_id in sweeps:
+                    sweeps[sweep_id].state = "running"
+            else:  # finished / cancelled
+                terminal[sweep_id] = True
+        for sweep_id in order:
+            if terminal.get(sweep_id):
+                replay.finished += 1
+            elif sweeps[sweep_id].payload is not None:
+                replay.live.append(sweeps[sweep_id])
+            else:
+                # A submitted record without its grid cannot be
+                # re-admitted; count it as dropped rather than crash.
+                replay.dropped += 1
+        return replay
+
+    # -- compaction ----------------------------------------------------------
+
+    def checkpoint(self) -> JournalReplay:
+        """Atomically rewrite the journal keeping only live sweeps.
+
+        Each surviving sweep is re-recorded as its ``submitted`` record
+        plus a ``started`` marker when it had begun running, preserving
+        submission order.  Returns the replay the rewrite was based on.
+        """
+        with self._lock:
+            replay = self.replay()
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            tmp = f"{self.path}.compact.tmp"
+            lines: List[str] = []
+            for sweep in replay.live:
+                lines.append(
+                    encode_record(
+                        {
+                            "record": "submitted",
+                            "sweep": sweep.sweep_id,
+                            "t": sweep.submitted_t,
+                            "client": sweep.client,
+                            "cells": sweep.cells,
+                            "payload": sweep.payload,
+                        }
+                    )
+                )
+                if sweep.state == "running":
+                    lines.append(
+                        encode_record(
+                            {"record": "started", "sweep": sweep.sweep_id, "t": time.time()}
+                        )
+                    )
+            body = "".join(line + "\n" for line in lines).encode("utf-8")
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                os.write(fd, body)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp, self.path)
+            self._terminal_since_compact = 0
+            self.compactions += 1
+            return replay
+
+    # -- introspection -------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "path": self.path,
+                "appends": self.appends,
+                "compactions": self.compactions,
+            }
+
+
+def journal_path(spool_dir: str) -> str:
+    """The journal's canonical location inside a spool directory."""
+    return os.path.join(spool_dir, "journal.jsonl")
+
+
+def load_payload_specs(payload: Any) -> Optional[List[Any]]:
+    """Decode a journaled grid payload, ``None`` if it no longer parses
+    (codec version bumped between runs, hand-edited journal, ...)."""
+    from repro.service.codec import SpecValidationError, decode_sweep
+
+    try:
+        return decode_sweep(payload)
+    except SpecValidationError:
+        return None

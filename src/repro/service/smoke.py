@@ -17,16 +17,48 @@ client would:
 Exits non-zero on the first broken assertion.  ``--artifact PATH``
 copies the per-sweep telemetry JSONL next to the working directory so
 CI can upload it.
+
+``--chaos`` runs the end-to-end crash-recovery scenario instead, with
+the service as real ``python -m repro serve`` subprocesses:
+
+1. **kill -9 mid-sweep**: a service under
+   ``REPRO_CHAOS=kill_after_cells=2`` is SIGKILLed the moment its
+   second cell checkpoints; the harness asserts the process died by
+   signal with the sweep unfinished;
+2. **restart recovery**: a fresh process over the same spool replays
+   the journal, resumes the sweep under its original id, serves the
+   two checkpointed cells warm (``result_cache_hits == 2``, no pool
+   work) and re-simulates only the lost tail; results are pinned
+   bit-identical to an uninterrupted in-process ``run_cells``;
+   the recovered sweep's events are streamed through
+   ``drop_stream_after`` connection drops, exercising the client's
+   byte-offset resume (every event delivered exactly once);
+3. **graceful drain**: with one sweep running and one queued, SIGTERM
+   flips ``/healthz`` to draining, new submissions get 503
+   ``draining``, the running sweep finishes (``sweep_finish`` state
+   ``done`` on disk), the process exits 0 — and a third process
+   recovers the queued sweep from the journal and completes it:
+   zero accepted sweeps lost.
+
+``--artifact-dir DIR`` copies the journal + telemetry files there for
+CI upload.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import shutil
+import signal
+import subprocess
 import sys
 import tempfile
-from typing import List
+import threading
+import time
+from typing import Any, Dict, List, Optional
 
+from repro.leakage.sweep import LeakageCellSpec
 from repro.runner.cells import CellSpec
 from repro.runner.pool import run_cells
 from repro.runner.result_cache import ResultCache
@@ -46,21 +78,56 @@ def smoke_grid(n_refs: int) -> List[CellSpec]:
     ]
 
 
+def slow_grid(trials: int = 3_000_000, seed: int = 77) -> List[LeakageCellSpec]:
+    """One eq7 cell long enough (~3s) to be mid-run when signals land."""
+    return [
+        LeakageCellSpec(
+            channel="eq7",
+            scheme="random_fill",
+            window=(1, 0),
+            trials=trials,
+            seed=seed,
+            curve_points=(1,),
+            curve_repeats=1,
+        )
+    ]
+
+
+def quick_grid(n: int = 2, trials: int = 40, seed0: int = 500) -> List[LeakageCellSpec]:
+    """A grid of fast eq7 cells (the queued sweep in the drain phase)."""
+    return [
+        LeakageCellSpec(
+            channel="eq7",
+            scheme="random_fill",
+            window=(1, 0),
+            trials=trials,
+            seed=seed0 + i,
+            curve_points=(1, 2),
+            curve_repeats=5,
+        )
+        for i in range(n)
+    ]
+
+
 def check(ok: bool, what: str) -> None:
     status = "ok" if ok else "FAIL"
-    print(f"  [{status}] {what}")
+    print(f"  [{status}] {what}", flush=True)
     if not ok:
         sys.exit(f"service smoke failed: {what}")
 
 
-def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(prog="python -m repro.service.smoke")
-    parser.add_argument(
-        "--n-refs", type=int, default=8000, help="trace length per cell (default 8000)"
+def reference_results(specs) -> List[Any]:
+    """The encoded results of an uninterrupted, cache-free direct run."""
+    direct = run_cells(
+        specs, jobs=1, result_cache=ResultCache(disk_dir=None, use_default_disk_dir=False)
     )
-    parser.add_argument("--artifact", default="", help="copy the per-sweep telemetry JSONL here")
-    args = parser.parse_args(argv)
+    return [encode_result(result) for result in direct]
 
+
+# -- normal mode --------------------------------------------------------------
+
+
+def run_normal(args) -> None:
     workdir = tempfile.mkdtemp(prefix="repro-smoke-")
     store = DiskResultStore(ResultCache(disk_dir=f"{workdir}/results"))
     config = ServiceConfig(
@@ -78,7 +145,8 @@ def main(argv=None) -> None:
     client = ServiceClient(handle.host, handle.port, client_id="ci-smoke")
     print(f"service smoke against {handle.base_url}")
     try:
-        check(client.healthz()["ok"], "GET /healthz")
+        health = client.healthz()
+        check(health["ok"] and health["draining"] is False, "GET /healthz (not draining)")
 
         specs = smoke_grid(args.n_refs)
         accepted = client.submit(specs)
@@ -106,10 +174,7 @@ def main(argv=None) -> None:
         )
 
         over_http = client.results(sweep_id, page_size=3)
-        direct = run_cells(
-            specs, jobs=1, result_cache=ResultCache(disk_dir=None, use_default_disk_dir=False)
-        )
-        expected = [encode_result(result) for result in direct]
+        expected = reference_results(specs)
         check(over_http == expected, "HTTP results bit-identical to direct run_cells")
 
         warm = client.submit(specs)
@@ -128,6 +193,17 @@ def main(argv=None) -> None:
         check(
             metrics["result_store"]["hits"] >= len(specs),
             f"/metrics reports the store hits ({metrics['result_store']['hits']})",
+        )
+        recovery = metrics["recovery"]
+        check(
+            recovery["recovered_sweeps"] == 0
+            and recovery["resubmitted_cells"] == 0
+            and recovery["draining"] is False,
+            "/metrics recovery counters present and zero on a fresh boot",
+        )
+        check(
+            metrics["journal"]["appends"] >= 4,
+            f"/metrics journal counters ({metrics['journal']['appends']} appends)",
         )
 
         try:
@@ -153,6 +229,281 @@ def main(argv=None) -> None:
         print("service smoke ok")
     finally:
         handle.stop()
+
+
+# -- chaos mode ---------------------------------------------------------------
+
+
+class ServerProcess:
+    """One ``python -m repro serve`` child with a port-file handshake."""
+
+    def __init__(self, workdir: str, name: str, chaos: Optional[str] = None):
+        self.name = name
+        self.port_file = os.path.join(workdir, f"{name}.port")
+        self.log_path = os.path.join(workdir, f"{name}.log")
+        env = dict(os.environ)
+        env["REPRO_RESULT_CACHE"] = os.path.join(workdir, "results")
+        env["REPRO_BATCH"] = "0"  # per-cell checkpoints: deterministic kill tail
+        env.pop("REPRO_CHAOS", None)
+        if chaos is not None:
+            env["REPRO_CHAOS"] = chaos
+        self.log = open(self.log_path, "w", encoding="utf-8")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--jobs",
+                "1",
+                "--rate",
+                "1000",
+                "--burst",
+                "1000",
+                "--spool",
+                os.path.join(workdir, "spool"),
+                "--port-file",
+                self.port_file,
+            ],
+            env=env,
+            stdout=self.log,
+            stderr=subprocess.STDOUT,
+        )
+        self.port = self._await_port()
+
+    def _await_port(self, timeout: float = 60.0) -> int:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if os.path.exists(self.port_file):
+                with open(self.port_file, "r", encoding="utf-8") as fh:
+                    return int(fh.read().strip())
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server {self.name} exited rc={self.proc.returncode} before binding "
+                    f"(log: {self.log_path})"
+                )
+            time.sleep(0.05)
+        raise RuntimeError(f"server {self.name} did not publish a port within {timeout}s")
+
+    def client(self, client_id: str = "chaos-smoke", **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, client_id=client_id, **kwargs)
+
+    def wait(self, timeout: float = 180.0) -> int:
+        rc = self.proc.wait(timeout=timeout)
+        self.log.close()
+        return rc
+
+    def kill_if_alive(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+        if not self.log.closed:
+            self.log.close()
+
+
+def read_spool_events(workdir: str, filename: str) -> List[Dict[str, Any]]:
+    path = os.path.join(workdir, "spool", filename)
+    events: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    try:
+                        events.append(json.loads(line))
+                    except ValueError:
+                        continue
+    except OSError:
+        pass
+    return events
+
+
+def run_chaos(args) -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    print(f"chaos smoke in {workdir}")
+    servers: List[ServerProcess] = []
+    try:
+        # -- phase 1: SIGKILL mid-sweep ---------------------------------------
+        victim = ServerProcess(workdir, "victim", chaos="kill_after_cells=2")
+        servers.append(victim)
+        client = victim.client()
+        check(client.healthz()["ok"], f"victim serving on :{victim.port}")
+
+        specs = smoke_grid(args.n_refs)
+        sweep_id = client.submit(specs)["id"]
+        check(bool(sweep_id), f"submitted {len(specs)} cells (id {sweep_id})")
+
+        # A streaming follower rides the sweep into the crash: it must
+        # see real events, then survive the hard connection drop.
+        streamed_before: List[Dict[str, Any]] = []
+
+        def follow() -> None:
+            try:
+                for event in victim.client(client_id="follower").stream_events(sweep_id):
+                    streamed_before.append(event)
+            except Exception:
+                pass  # the process died under us — that is the test
+
+        follower = threading.Thread(target=follow, daemon=True)
+        follower.start()
+
+        rc = victim.wait(timeout=180)
+        follower.join(timeout=60)
+        check(rc == -signal.SIGKILL, f"victim died by SIGKILL (rc={rc})")
+        check(
+            any(event.get("event") == "sweep_submitted" for event in streamed_before),
+            f"follower streamed {len(streamed_before)} events before the drop",
+        )
+        warm_files = [
+            name
+            for name in os.listdir(os.path.join(workdir, "results"))
+            if name.endswith(".result")
+        ]
+        check(
+            len(warm_files) == 2,
+            f"exactly 2 cells checkpointed before the kill ({len(warm_files)} found)",
+        )
+
+        # -- phase 2: restart, recover, stream through drops ------------------
+        survivor = ServerProcess(workdir, "survivor", chaos="drop_stream_after=3")
+        servers.append(survivor)
+        client = survivor.client()
+        status = client.sweep(sweep_id)
+        check(
+            status["recovered"] is True,
+            f"restart re-admitted sweep {sweep_id} from the journal",
+        )
+        status = client.wait(sweep_id, timeout=600)
+        check(status["state"] == "done", f"recovered sweep finished: {status['state']}")
+        stats = status["last_run_stats"]
+        check(
+            stats["result_cache_hits"] == 2 and stats["result_cache_misses"] == len(specs) - 2,
+            f"only the lost tail re-simulated (hits={stats['result_cache_hits']}, "
+            f"misses={stats['result_cache_misses']})",
+        )
+        over_http = client.results(sweep_id, page_size=3)
+        check(
+            over_http == reference_results(specs),
+            "recovered results bit-identical to an uninterrupted run",
+        )
+        metrics = client.metrics()
+        recovery = metrics["recovery"]
+        check(
+            recovery["recovered_sweeps"] == 1
+            and recovery["warm_cells"] == 2
+            and recovery["resubmitted_cells"] == len(specs) - 2,
+            f"/metrics recovery counters: {recovery}",
+        )
+        streamed = list(client.stream_events(sweep_id, follow=False))
+        keys = [(event.get("event"), event.get("t")) for event in streamed]
+        check(len(keys) == len(set(keys)), "stream resume delivered every event exactly once")
+        spooled = read_spool_events(workdir, f"sweep-{sweep_id}.jsonl")
+        check(
+            len(streamed) == len(spooled),
+            f"stream resume delivered the complete log ({len(streamed)}/{len(spooled)})",
+        )
+        names = [event.get("event") for event in streamed]
+        check(
+            "sweep_resumed" in names and "sweep_finish" in names,
+            "recovered sweep's log carries sweep_resumed through to sweep_finish",
+        )
+
+        # -- phase 3: graceful drain ------------------------------------------
+        running_id = client.submit(slow_grid())["id"]
+        deadline = time.monotonic() + 120
+        while client.sweep(running_id)["state"] != "running":
+            check(time.monotonic() < deadline, "slow sweep reached running before SIGTERM")
+            time.sleep(0.05)
+        queued_specs = quick_grid()
+        queued_id = client.submit(queued_specs)["id"]
+        survivor.proc.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 60
+        while not client.healthz()["draining"]:
+            check(time.monotonic() < deadline, "healthz flipped to draining after SIGTERM")
+            time.sleep(0.05)
+        check(True, "SIGTERM -> /healthz reports draining")
+        try:
+            survivor.client(client_id="late", retries=0).submit(quick_grid(seed0=900))
+            check(False, "draining service refused the late submission")
+        except ServiceClientError as error:
+            check(
+                error.status == 503 and error.code == "draining",
+                f"late submission -> structured 503 draining ({error.code})",
+            )
+        rc = survivor.wait(timeout=300)
+        check(rc == 0, f"drained server exited cleanly (rc={rc})")
+        finish = [
+            event
+            for event in read_spool_events(workdir, f"sweep-{running_id}.jsonl")
+            if event.get("event") == "sweep_finish"
+        ]
+        check(
+            bool(finish) and finish[-1].get("state") == "done",
+            "running sweep finished during the drain (sweep_finish state=done)",
+        )
+
+        # -- phase 4: the queued sweep survives to the next process -----------
+        heir = ServerProcess(workdir, "heir")
+        servers.append(heir)
+        client = heir.client()
+        status = client.sweep(queued_id)
+        check(
+            status["recovered"] is True,
+            f"queued sweep {queued_id} inherited by the next process",
+        )
+        status = client.wait(queued_id, timeout=300)
+        check(status["state"] == "done", "inherited sweep completed: zero accepted sweeps lost")
+        check(
+            client.results(queued_id) == reference_results(queued_specs),
+            "inherited sweep's results bit-identical to a direct run",
+        )
+        heir.proc.send_signal(signal.SIGTERM)
+        check(heir.wait(timeout=120) == 0, "final drain exits 0")
+        print("chaos smoke ok")
+    finally:
+        for server in servers:
+            server.kill_if_alive()
+        if args.artifact_dir:
+            os.makedirs(args.artifact_dir, exist_ok=True)
+            spool = os.path.join(workdir, "spool")
+            if os.path.isdir(spool):
+                for name in sorted(os.listdir(spool)):
+                    shutil.copyfile(
+                        os.path.join(spool, name), os.path.join(args.artifact_dir, name)
+                    )
+            for server in servers:
+                if os.path.exists(server.log_path):
+                    shutil.copyfile(
+                        server.log_path,
+                        os.path.join(args.artifact_dir, os.path.basename(server.log_path)),
+                    )
+            print(f"  chaos artifacts: {args.artifact_dir}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(prog="python -m repro.service.smoke")
+    parser.add_argument(
+        "--n-refs", type=int, default=8000, help="trace length per cell (default 8000)"
+    )
+    parser.add_argument("--artifact", default="", help="copy the per-sweep telemetry JSONL here")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the crash-recovery scenario (kill -9, restart, drain) "
+        "against real server subprocesses",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default="",
+        help="(--chaos) copy the journal + telemetry + server logs here",
+    )
+    args = parser.parse_args(argv)
+    if args.chaos:
+        run_chaos(args)
+    else:
+        run_normal(args)
 
 
 if __name__ == "__main__":

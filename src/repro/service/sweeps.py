@@ -14,6 +14,20 @@ directory.  The service writes the ``sweep_submitted`` /
 rows; ``run_cells`` appends its ordinary run events to the same file —
 so one file is the complete audit trail of one sweep, and the
 ``/events`` endpoint simply streams it.
+
+Crash safety (PR 10) adds two mechanisms on top of the registry:
+
+* every accepted sweep is journaled to the write-ahead log
+  (:mod:`repro.service.journal`) *before* it is queued, and its
+  ``started``/``finished`` transitions are journaled from the job
+  observer — so on boot :meth:`SweepService._recover` can replay the
+  journal, re-admit every queued sweep in submission order and
+  resubmit the interrupted running one, whose already-finished cells
+  come back warm from the result-cache checkpoints;
+* :meth:`begin_drain` / :meth:`finish_drain` implement graceful
+  SIGTERM shutdown: submissions get a structured 503 ``draining``, the
+  running sweep finishes, queued sweeps stay journaled for the next
+  process, and the journal is checkpoint-compacted on the way out.
 """
 
 from __future__ import annotations
@@ -29,6 +43,7 @@ from typing import Any, Dict, List, Optional
 from repro.runner.jobs import JobHandle, JobQueueFull, JobRunner
 from repro.runner.telemetry import Telemetry
 from repro.service.codec import SpecValidationError, decode_sweep, encode_result
+from repro.service.journal import SweepJournal, journal_path, load_payload_specs
 from repro.service.ratelimit import ClientQuotas
 from repro.service.store import DiskResultStore, ResultStore
 
@@ -46,6 +61,8 @@ class ServiceConfig:
     burst: float = 20.0
     spool_dir: Optional[str] = None  # per-sweep telemetry files
     keep_sweeps: int = 256  # finished sweeps kept in the registry
+    port_file: Optional[str] = None  # write the bound port here once listening
+    recover: bool = True  # replay the sweep journal on boot
 
 
 class ServiceError(Exception):
@@ -71,6 +88,7 @@ class Sweep:
     cells: int
     events_path: str
     created_at: float = field(default_factory=time.time)
+    recovered: bool = False  # re-admitted from the journal on boot
 
     def status(self) -> Dict[str, Any]:
         poll = self.handle.poll()
@@ -80,6 +98,7 @@ class Sweep:
             "cells": self.cells,
             "client": self.client,
             "created_at": self.created_at,
+            "recovered": self.recovered,
             "queue_wait_s": poll["queue_wait_s"],
             "run_seconds": poll["run_seconds"],
             "error": poll["error"],
@@ -103,6 +122,7 @@ class SweepService:
         self.spool_dir = config.spool_dir or tempfile.mkdtemp(prefix="repro-service-")
         os.makedirs(self.spool_dir, exist_ok=True)
         self.started_at = time.time()
+        self.journal = SweepJournal(journal_path(self.spool_dir))
         self._lock = threading.Lock()
         self._sweeps: Dict[str, Sweep] = {}
         self._order: List[str] = []
@@ -114,6 +134,13 @@ class SweepService:
             "failed": 0,
             "cancelled": 0,
         }
+        self._draining = False
+        self._recovered_sweeps = 0
+        self._resubmitted_cells = 0
+        self._warm_cells = 0
+        self._corrupt_tail_events = 0
+        if config.recover:
+            self._recover()
 
     # -- telemetry helpers ---------------------------------------------------
 
@@ -145,8 +172,22 @@ class SweepService:
 
         Raises :class:`ServiceError` with the structured 400/429
         payloads for malformed specs, rate-limited clients, oversized
-        grids, and a full work queue.
+        grids, and a full work queue — and 503 ``draining`` once a
+        shutdown signal has flipped the service into draining mode.
+
+        The sweep is journaled *before* it is queued (WAL ordering): a
+        crash between the append and the queue insert re-admits it on
+        restart rather than losing it.  A full queue writes a
+        compensating ``cancelled`` record.
         """
+        if self._draining:
+            self._reject(client, "draining")
+            raise ServiceError(
+                503,
+                "draining",
+                "service is draining for shutdown; retry against the next instance",
+                retry_after_s=1.0,
+            )
         retry_after = self.quotas.admit(client)
         if retry_after is not None:
             self._reject(client, "rate_limited", retry_after_s=retry_after)
@@ -178,6 +219,18 @@ class SweepService:
         sweep_id = secrets.token_hex(6)
         events_path = self._events_path(sweep_id)
         try:
+            self.journal.append(
+                "submitted", sweep_id, client=client, cells=len(specs), payload=payload
+            )
+        except OSError as error:
+            self.quotas.account_rejected(client)
+            self._reject(client, "journal_unavailable", detail=repr(error))
+            raise ServiceError(
+                503,
+                "journal_unavailable",
+                f"cannot journal the sweep (spool write failed): {error}",
+            ) from None
+        try:
             handle = self.runner.submit(
                 specs,
                 on_transition=self._make_observer(sweep_id, events_path),
@@ -187,6 +240,7 @@ class SweepService:
                 progress=False,
             )
         except JobQueueFull as error:
+            self._journal_advisory("cancelled", sweep_id, reason="queue_full")
             self.quotas.account_rejected(client)
             self._reject(client, "queue_full", queue_depth=self.runner.queue_depth)
             raise ServiceError(
@@ -226,9 +280,19 @@ class SweepService:
             },
         }
 
+    def _journal_advisory(self, record_type: str, sweep_id: str, **fields: Any) -> None:
+        """Journal a transition, swallowing spool errors: past admission
+        the journal is advisory (the worst a lost record costs is one
+        harmless at-least-once re-run on recovery)."""
+        try:
+            self.journal.append(record_type, sweep_id, **fields)
+        except OSError:
+            pass
+
     def _make_observer(self, sweep_id: str, events_path: str):
         def observer(handle: JobHandle, state: str) -> None:
             if state == "running":
+                self._journal_advisory("started", sweep_id)
                 self._emit(
                     events_path,
                     "sweep_start",
@@ -236,6 +300,7 @@ class SweepService:
                     queue_wait_s=round(handle.queue_wait_s or 0.0, 6),
                 )
                 return
+            self._journal_advisory("finished", sweep_id, state=state)
             counter = {
                 "done": "completed",
                 "failed": "failed",
@@ -268,6 +333,106 @@ class SweepService:
                     break
             else:
                 return  # nothing finished yet; keep everything live
+
+    # -- restart recovery ----------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal and re-admit every sweep still owed work.
+
+        Runs once from ``__init__`` before the server binds, so clients
+        never observe a half-recovered registry.  Queued sweeps come
+        back in submission order; an interrupted running sweep is
+        resubmitted and its already-checkpointed cells are served warm
+        from the result store (only the lost tail re-simulates).
+        """
+        replay = self.journal.replay()
+        if replay.corrupt_tail or replay.dropped:
+            self._corrupt_tail_events += 1
+            self._emit(
+                self._service_log(),
+                "journal_corrupt_tail",
+                corrupt_tail=replay.corrupt_tail,
+                dropped=replay.dropped,
+            )
+        if not replay.live:
+            if replay.records:
+                self.journal.checkpoint()  # drop the dead history
+            return
+        recovered = 0
+        resubmitted_cells = 0
+        warm_cells = 0
+        for entry in replay.live:
+            specs = load_payload_specs(entry.payload)
+            if specs is None:
+                self._journal_advisory("cancelled", entry.sweep_id, reason="invalid_payload")
+                self._emit(
+                    self._service_log(),
+                    "sweep_rejected",
+                    reason="invalid_spec",
+                    client=entry.client,
+                    sweep=entry.sweep_id,
+                    detail="journaled payload no longer decodes",
+                )
+                continue
+            events_path = self._events_path(entry.sweep_id)
+            warm = self.store.warm_count(specs)
+            try:
+                handle = self.runner.submit(
+                    specs,
+                    on_transition=self._make_observer(entry.sweep_id, events_path),
+                    jobs=self.config.jobs,
+                    result_cache=self.store,
+                    telemetry=events_path,
+                    progress=False,
+                )
+            except (JobQueueFull, RuntimeError) as error:
+                # More journaled sweeps than queue slots: the rest stay
+                # journaled and come back on the next restart.
+                self._emit(
+                    self._service_log(),
+                    "sweep_rejected",
+                    reason="queue_full",
+                    client=entry.client,
+                    sweep=entry.sweep_id,
+                    detail=f"recovery deferred: {error}",
+                )
+                break
+            sweep = Sweep(
+                sweep_id=entry.sweep_id,
+                handle=handle,
+                client=entry.client,
+                cells=len(specs),
+                events_path=events_path,
+                recovered=True,
+            )
+            with self._lock:
+                self._sweeps[entry.sweep_id] = sweep
+                self._order.append(entry.sweep_id)
+            self._emit(
+                events_path,
+                "sweep_resumed",
+                sweep=entry.sweep_id,
+                prior_state=entry.state,
+                cells=len(specs),
+                warm_cells=warm,
+                client=entry.client,
+            )
+            recovered += 1
+            warm_cells += warm
+            resubmitted_cells += len(specs) - warm
+        with self._lock:
+            self._recovered_sweeps += recovered
+            self._resubmitted_cells += resubmitted_cells
+            self._warm_cells += warm_cells
+        if recovered:
+            self._emit(
+                self._service_log(),
+                "service_recovered",
+                recovered_sweeps=recovered,
+                resubmitted_cells=resubmitted_cells,
+                warm_cells=warm_cells,
+            )
+        self.journal.checkpoint()
 
     # -- lookup --------------------------------------------------------------
 
@@ -309,7 +474,12 @@ class SweepService:
 
     def cancel(self, sweep_id: str) -> Dict[str, Any]:
         sweep = self.get(sweep_id)
-        sweep.handle.cancel()
+        if sweep.handle.cancel():
+            # The handle settled immediately (it was still queued):
+            # journal the terminal record now — the executor's observer
+            # will confirm it later, and duplicate terminal records are
+            # idempotent under replay.
+            self._journal_advisory("cancelled", sweep_id, reason="client_cancel")
         return sweep.status()
 
     # -- health & metrics ----------------------------------------------------
@@ -320,6 +490,7 @@ class SweepService:
             "uptime_s": round(time.time() - self.started_at, 3),
             "queue_depth": self.runner.queued(),
             "running": self.runner.running() is not None,
+            "draining": self._draining,
         }
 
     def metrics(self) -> Dict[str, Any]:
@@ -337,6 +508,14 @@ class SweepService:
                 latency[name] = round(seconds[rank], 6)
             else:
                 latency[name] = 0.0
+        with self._lock:
+            recovery = {
+                "recovered_sweeps": self._recovered_sweeps,
+                "resubmitted_cells": self._resubmitted_cells,
+                "warm_cells": self._warm_cells,
+                "journal_corrupt_tail": self._corrupt_tail_events,
+                "draining": self._draining,
+            }
         return {
             "queue": {
                 "depth": self.runner.queued(),
@@ -346,6 +525,8 @@ class SweepService:
             "sweeps": {**counters, "states": states},
             "result_store": self.store.stats_snapshot(),
             "sweep_latency": latency,
+            "recovery": recovery,
+            "journal": self.journal.stats_snapshot(),
             "clients": self.quotas.snapshot(),
             "limits": {
                 "rate_per_s": self.config.rate,
@@ -356,5 +537,36 @@ class SweepService:
 
     # -- lifecycle -----------------------------------------------------------
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Flip into draining mode (idempotent): refuse new submissions
+        with 503, stop starting queued sweeps, let the running one
+        finish.  Returns immediately; :meth:`finish_drain` blocks."""
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+        queued = self.runner.drain()
+        self._emit(
+            self._service_log(),
+            "service_draining",
+            queued=len(queued),
+            running=self.runner.running() is not None,
+        )
+
+    def finish_drain(self, timeout: Optional[float] = None) -> None:
+        """Wait for the running sweep, checkpoint the journal (queued
+        sweeps survive to the next process), and stop the runner."""
+        self.runner.wait_idle(timeout)
+        self.journal.checkpoint()
+        self._emit(self._service_log(), "service_drained", queued=self.runner.queued())
+        self.runner.shutdown(wait=True, cancel_queued=False)
+
     def shutdown(self, wait: bool = True) -> None:
-        self.runner.shutdown(wait=wait)
+        # A draining shutdown must not cancel queued sweeps: their
+        # journal records are the next process's work list, and a
+        # cancel would write terminal records that erase them.
+        self.runner.shutdown(wait=wait, cancel_queued=not self._draining)

@@ -1,0 +1,99 @@
+"""The ``REPRO_CHAOS`` parser and hook dispatch.
+
+The heavy end-to-end chaos (SIGKILL mid-sweep, torn journal, stream
+drops over real sockets) lives in ``repro.service.smoke --chaos`` and
+``tests/service/test_recovery.py``; these tests pin the cheap parts —
+config parsing, per-value caching, and the hooks being near-free
+no-ops when the variable is unset.
+"""
+
+import pytest
+
+from repro.service.chaos import (
+    ENV_VAR,
+    ChaosConfigError,
+    chaos_config,
+    chaos_journal_write,
+    chaos_stream_should_drop,
+    parse_chaos,
+)
+
+
+class TestParse:
+    def test_all_modes(self):
+        config = parse_chaos(
+            "kill_after_cells=2,torn_journal=5,slow_spool_ms=1.5,"
+            "fail_spool_every=3,drop_stream_after=7"
+        )
+        assert config.kill_after_cells == 2
+        assert config.torn_journal == 5
+        assert config.slow_spool_ms == 1.5
+        assert config.fail_spool_every == 3
+        assert config.drop_stream_after == 7
+
+    def test_bare_mode_defaults_to_one(self):
+        assert parse_chaos("kill_after_cells").kill_after_cells == 1
+        assert parse_chaos("torn_journal").torn_journal == 1
+
+    def test_empty_entries_and_whitespace_tolerated(self):
+        config = parse_chaos(" kill_after_cells = 3 , ,")
+        assert config.kill_after_cells == 3
+
+    def test_unknown_mode_refused(self):
+        with pytest.raises(ChaosConfigError, match="unknown chaos mode"):
+            parse_chaos("set_fire_to_the_rain")
+
+    def test_non_integer_refused(self):
+        with pytest.raises(ChaosConfigError, match="integer"):
+            parse_chaos("kill_after_cells=soon")
+
+    def test_zero_or_negative_refused(self):
+        with pytest.raises(ChaosConfigError, match=">= 1"):
+            parse_chaos("drop_stream_after=0")
+        with pytest.raises(ChaosConfigError, match=">= 1"):
+            parse_chaos("torn_journal=-2")
+
+    def test_bad_float_refused(self):
+        with pytest.raises(ChaosConfigError, match="number"):
+            parse_chaos("slow_spool_ms=fast")
+
+
+class TestConfigCache:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert chaos_config() is None
+
+    def test_empty_is_none(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "")
+        assert chaos_config() is None
+
+    def test_value_flips_without_reset(self, monkeypatch):
+        # monkeypatch.setenv is enough — the cache keys on the value.
+        monkeypatch.setenv(ENV_VAR, "drop_stream_after=4")
+        assert chaos_config().drop_stream_after == 4
+        monkeypatch.setenv(ENV_VAR, "drop_stream_after=9")
+        assert chaos_config().drop_stream_after == 9
+        monkeypatch.delenv(ENV_VAR)
+        assert chaos_config() is None
+
+
+class TestHooks:
+    def test_stream_drop_threshold(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "drop_stream_after=3")
+        assert not chaos_stream_should_drop(2)
+        assert chaos_stream_should_drop(3)
+        assert chaos_stream_should_drop(4)
+
+    def test_stream_drop_noop_when_unset(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert not chaos_stream_should_drop(10**6)
+
+    def test_journal_write_passthrough_when_unset(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        payload = b'{"record": "submitted"}\n'
+        assert chaos_journal_write(payload) is payload
+
+    def test_journal_write_passthrough_without_torn_mode(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "drop_stream_after=3")
+        payload = b'{"record": "submitted"}\n'
+        assert chaos_journal_write(payload) is payload

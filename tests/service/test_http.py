@@ -241,8 +241,10 @@ class TestBackpressure:
     def test_rate_limited_is_429_with_retry_after(self, tmp_path):
         handle = boot(tmp_path, rate=0.5, burst=2.0)
         try:
+            # retries=0: the point is to observe the 429, not ride
+            # through it on the default retry policy.
             client = ServiceClient(handle.host, handle.port,
-                                   client_id="bursty")
+                                   client_id="bursty", retries=0)
             ids = [client.submit(eq7_grid(n=1))["id"] for _ in range(2)]
             with pytest.raises(ServiceClientError) as excinfo:
                 client.submit(eq7_grid(n=1))
@@ -264,7 +266,7 @@ class TestBackpressure:
         handle = boot(tmp_path, queue_depth=1)
         try:
             client = ServiceClient(handle.host, handle.port,
-                                   client_id="flood")
+                                   client_id="flood", retries=0)
             running = client.submit(slow_grid(seed=200))["id"]
             # Wait for it to leave the queue and occupy the executor.
             deadline = 120

@@ -1,0 +1,289 @@
+"""The durable sweep journal: encode/decode, replay, torn tails,
+checkpoint compaction.
+
+The hypothesis round-trip suite pins the satellite requirement that
+every encodable journal record decodes back exactly; the torn-tail
+tests cut a real journal at *every* byte offset and assert replay
+never raises and never loses a fully-durable sweep.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.journal import (
+    JOURNAL_VERSION,
+    JournalError,
+    SweepJournal,
+    decode_record,
+    encode_record,
+    journal_path,
+)
+
+# -- record strategies --------------------------------------------------------
+
+sweep_ids = st.text(
+    alphabet="0123456789abcdef", min_size=1, max_size=16
+)
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+field_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+).filter(lambda name: name not in ("record", "sweep", "v"))
+records = st.fixed_dictionaries(
+    {
+        "record": st.sampled_from(["submitted", "started", "finished", "cancelled"]),
+        "sweep": sweep_ids,
+    },
+    optional={
+        "client": st.text(max_size=20),
+        "cells": st.integers(min_value=0, max_value=4096),
+        "payload": json_values,
+        "state": st.sampled_from(["done", "failed", "cancelled"]),
+        "t": st.floats(min_value=0, max_value=4e9),
+    },
+)
+
+
+class TestRecordRoundTrip:
+    @given(record=records)
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_round_trip(self, record):
+        line = encode_record(dict(record))
+        assert "\n" not in line  # one record, one line — by construction
+        decoded = decode_record(line)
+        assert decoded == record
+
+    @given(record=records, extra=st.dictionaries(field_names, json_values, max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_extra_fields_survive(self, record, extra):
+        merged = {**extra, **record}
+        assert decode_record(encode_record(merged)) == merged
+
+    def test_unknown_type_refused(self):
+        with pytest.raises(JournalError):
+            encode_record({"record": "exploded", "sweep": "a"})
+        with pytest.raises(JournalError):
+            decode_record(json.dumps({"v": JOURNAL_VERSION, "record": "exploded", "sweep": "a"}))
+
+    def test_missing_sweep_refused(self):
+        with pytest.raises(JournalError):
+            encode_record({"record": "submitted"})
+        with pytest.raises(JournalError):
+            decode_record(json.dumps({"v": JOURNAL_VERSION, "record": "submitted"}))
+
+    def test_unknown_version_refused(self):
+        line = json.dumps({"v": JOURNAL_VERSION + 1, "record": "submitted", "sweep": "a"})
+        with pytest.raises(JournalError):
+            decode_record(line)
+
+    def test_unencodable_payload_refused(self):
+        with pytest.raises(JournalError):
+            encode_record({"record": "submitted", "sweep": "a", "payload": object()})
+
+    def test_non_object_line_refused(self):
+        for line in ("[]", "42", '"x"', "not json at all"):
+            with pytest.raises(JournalError):
+                decode_record(line)
+
+
+# -- replay -------------------------------------------------------------------
+
+
+def make_journal(tmp_path) -> SweepJournal:
+    return SweepJournal(journal_path(str(tmp_path)))
+
+
+class TestReplay:
+    def test_missing_file_is_empty(self, tmp_path):
+        replay = make_journal(tmp_path).replay()
+        assert replay.live == [] and replay.records == 0
+        assert not replay.corrupt_tail
+
+    def test_lifecycle_state_machine(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("submitted", "aaa", client="c1", cells=2, payload={"grid": 1})
+        journal.append("submitted", "bbb", client="c2", cells=3, payload={"grid": 2})
+        journal.append("started", "aaa")
+        journal.append("finished", "aaa", state="done")
+        replay = journal.replay()
+        assert replay.finished == 1
+        assert [s.sweep_id for s in replay.live] == ["bbb"]
+        assert replay.live[0].state == "queued"
+        assert replay.live[0].payload == {"grid": 2}
+        assert replay.live[0].cells == 3
+
+    def test_interrupted_running_sweep_is_live(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("submitted", "aaa", client="c", cells=1, payload={})
+        journal.append("started", "aaa")
+        replay = journal.replay()
+        assert [s.state for s in replay.live] == ["running"]
+
+    def test_submission_order_preserved(self, tmp_path):
+        journal = make_journal(tmp_path)
+        ids = [f"s{i:02d}" for i in range(10)]
+        for sweep_id in ids:
+            journal.append("submitted", sweep_id, client="c", cells=1, payload=[])
+        assert [s.sweep_id for s in journal.replay().live] == ids
+
+    def test_cancelled_is_terminal(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("submitted", "aaa", client="c", cells=1, payload={})
+        journal.append("cancelled", "aaa", reason="queue_full")
+        replay = journal.replay()
+        assert replay.live == [] and replay.finished == 1
+
+    def test_submitted_without_payload_dropped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("submitted", "aaa", client="c", cells=1)
+        replay = journal.replay()
+        assert replay.live == [] and replay.dropped == 1
+
+
+class TestTornWrites:
+    def build(self, tmp_path) -> SweepJournal:
+        journal = make_journal(tmp_path)
+        journal.append("submitted", "aaa", client="c", cells=2, payload={"p": [1, 2]})
+        journal.append("started", "aaa")
+        journal.append("submitted", "bbb", client="c", cells=1, payload={"p": [3]})
+        return journal
+
+    def test_truncation_at_every_offset_never_raises(self, tmp_path):
+        journal = self.build(tmp_path)
+        with open(journal.path, "rb") as fh:
+            data = fh.read()
+        full = journal.replay()
+        assert [s.sweep_id for s in full.live] == ["aaa", "bbb"]
+        newlines = [i for i, b in enumerate(data) if b == 0x0A]
+        for cut in range(len(data) + 1):
+            with open(journal.path, "wb") as fh:
+                fh.write(data[:cut])
+            replay = journal.replay()  # must never raise
+            # Every sweep whose records were fully durable (terminated
+            # by a newline at or before the cut) must survive.
+            durable_lines = sum(1 for offset in newlines if offset < cut)
+            if durable_lines >= 3:
+                assert [s.sweep_id for s in replay.live] == ["aaa", "bbb"]
+            elif durable_lines >= 1:
+                assert [s.sweep_id for s in replay.live] == ["aaa"]
+            # A clean cut at a line boundary is not a torn tail; any
+            # trailing partial line is.
+            torn_bytes = cut - (max((o for o in newlines if o < cut), default=-1) + 1)
+            assert replay.corrupt_tail == (cut > 0 and torn_bytes > 0)
+        # restore for other assertions
+        with open(journal.path, "wb") as fh:
+            fh.write(data)
+
+    def test_unterminated_tail_is_torn_even_if_it_parses(self, tmp_path):
+        journal = self.build(tmp_path)
+        with open(journal.path, "rb") as fh:
+            data = fh.read()
+        assert data.endswith(b"\n")
+        with open(journal.path, "wb") as fh:
+            fh.write(data[:-1])  # strip ONLY the final newline
+        replay = journal.replay()
+        assert replay.corrupt_tail
+        # the torn 'bbb' submitted record is dropped; 'aaa' survives
+        assert [s.sweep_id for s in replay.live] == ["aaa"]
+
+    def test_midfile_corruption_skipped_and_counted(self, tmp_path):
+        journal = self.build(tmp_path)
+        with open(journal.path, "rb") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        lines.insert(1, b"{[corrupt garbage}\n")
+        with open(journal.path, "wb") as fh:
+            fh.write(b"".join(lines))
+        replay = journal.replay()
+        assert replay.dropped == 1 and not replay.corrupt_tail
+        assert [s.sweep_id for s in replay.live] == ["aaa", "bbb"]
+
+    def test_unknown_version_line_skipped(self, tmp_path):
+        journal = self.build(tmp_path)
+        alien = json.dumps({"v": 99, "record": "submitted", "sweep": "zzz", "payload": {}})
+        with open(journal.path, "ab") as fh:
+            fh.write(alien.encode() + b"\n")
+        replay = journal.replay()
+        assert replay.dropped == 1
+        assert [s.sweep_id for s in replay.live] == ["aaa", "bbb"]
+
+    def test_append_over_torn_tail_degrades_to_one_dropped_line(self, tmp_path):
+        """Appending over a torn tail merges the torn bytes with the
+        next record into one corrupt line — which is exactly why boot
+        recovery checkpoints (rewrites clean) before any new appends.
+        Replay must still never raise and must keep durable sweeps."""
+        journal = self.build(tmp_path)
+        with open(journal.path, "rb") as fh:
+            data = fh.read()
+        with open(journal.path, "wb") as fh:
+            fh.write(data[:-4])  # tear the last record
+        journal.append("submitted", "ccc", client="c", cells=1, payload={})
+        replay = journal.replay()
+        assert not replay.corrupt_tail  # the file ends clean again
+        assert replay.dropped == 1  # torn bbb + ccc merged into garbage
+        assert [s.sweep_id for s in replay.live] == ["aaa"]
+
+
+class TestCheckpoint:
+    def test_compaction_keeps_only_live(self, tmp_path):
+        journal = make_journal(tmp_path)
+        for i in range(20):
+            sweep_id = f"s{i:02d}"
+            journal.append("submitted", sweep_id, client="c", cells=1, payload={"i": i})
+            journal.append("started", sweep_id)
+            if i < 17:
+                journal.append("finished", sweep_id, state="done")
+        before = os.path.getsize(journal.path)
+        journal.checkpoint()
+        after = os.path.getsize(journal.path)
+        assert after < before
+        replay = journal.replay()
+        assert [s.sweep_id for s in replay.live] == ["s17", "s18", "s19"]
+        assert all(s.state == "running" for s in replay.live)
+        assert replay.finished == 0  # history gone
+
+    def test_checkpoint_preserves_payload_and_order(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("submitted", "bb", client="x", cells=2, payload={"grid": "B"})
+        journal.append("submitted", "aa", client="y", cells=3, payload={"grid": "A"})
+        journal.checkpoint()
+        live = journal.replay().live
+        assert [(s.sweep_id, s.payload, s.cells, s.client) for s in live] == [
+            ("bb", {"grid": "B"}, 2, "x"),
+            ("aa", {"grid": "A"}, 3, "y"),
+        ]
+
+    def test_auto_compaction_bounds_the_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.service.journal.COMPACT_THRESHOLD", 8)
+        journal = make_journal(tmp_path)
+        for i in range(40):
+            sweep_id = f"s{i:02d}"
+            journal.append("submitted", sweep_id, client="c", cells=1, payload={})
+            journal.append("finished", sweep_id, state="done")
+        assert journal.compactions >= 4
+        with open(journal.path, "rb") as fh:
+            lines = [line for line in fh.read().split(b"\n") if line]
+        assert len(lines) <= 2 * 8  # bounded by the threshold, not history
+
+    def test_stats_snapshot(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("submitted", "aaa", client="c", cells=1, payload={})
+        stats = journal.stats_snapshot()
+        assert stats["appends"] == 1 and stats["compactions"] == 0
+        assert stats["path"] == journal.path
